@@ -1,0 +1,121 @@
+// Hotness-source ablation (§5 "Locality balancing"): exact per-byte
+// counters (performance-counter profiling) vs access-bit sampling driving
+// the same migration decisions.
+//
+// The workload mixes two buffer populations so the two signals disagree:
+//   * "scan" buffers — read fully, once (footprint 2 GiB, traffic 2 GiB);
+//   * "hot"  buffers — a 256 MiB window re-read 16x (footprint 256 MiB,
+//     traffic 4 GiB).
+// Exact counters rank the hot buffers first (true traffic); access bits
+// see only touched pages and rank the scans first.  With a bounded
+// migration budget, the bits-driven policy converts less remote traffic.
+#include <cstdio>
+
+#include "common/logging.h"
+#include "common/table.h"
+#include "core/access_bits.h"
+#include "core/pool_manager.h"
+
+namespace {
+
+using namespace lmp;
+
+constexpr int kBuffers = 12;           // 0-5 scans, 6-11 hot
+constexpr Bytes kBufferSize = GiB(2);
+constexpr Bytes kHotWindow = MiB(256);
+constexpr int kHotReps = 16;
+constexpr int kMigrationBudget = 4;
+
+struct Outcome {
+  double traffic_local = 0;  // fraction of true traffic made local
+  int migrations = 0;
+};
+
+Outcome Drive(bool use_access_bits) {
+  cluster::ClusterConfig config = cluster::ClusterConfig::PaperLogical();
+  cluster::Cluster cluster(config);
+  core::PoolManager manager(&cluster);
+  manager.access_tracker().set_half_life(Seconds(100));
+  core::AccessBitSampler sampler(config.frame_size);
+
+  std::vector<core::BufferId> buffers;
+  std::vector<core::SegmentId> segments;
+  for (int i = 0; i < kBuffers; ++i) {
+    auto buf = manager.Allocate(
+        kBufferSize, static_cast<cluster::ServerId>((i % 3) + 1));
+    LMP_CHECK(buf.ok());
+    buffers.push_back(*buf);
+    segments.push_back(manager.Describe(*buf)->segments[0]);
+  }
+
+  std::vector<double> true_traffic(kBuffers, 0);
+  for (int i = 0; i < kBuffers; ++i) {
+    if (i < kBuffers / 2) {
+      LMP_CHECK_OK(manager.Touch(0, buffers[i], 0, kBufferSize, Seconds(1)));
+      sampler.OnAccess(segments[i], 0, 0, kBufferSize);
+      true_traffic[i] = static_cast<double>(kBufferSize);
+    } else {
+      for (int rep = 0; rep < kHotReps; ++rep) {
+        LMP_CHECK_OK(manager.Touch(0, buffers[i], 0, kHotWindow,
+                                   Seconds(1)));
+        sampler.OnAccess(segments[i], 0, 0, kHotWindow);
+      }
+      true_traffic[i] = static_cast<double>(kHotWindow) * kHotReps;
+    }
+  }
+  (void)sampler.ScanAndClear();
+
+  // Rank by the chosen signal; migrate the top `kMigrationBudget`.
+  std::vector<std::pair<double, int>> ranked;
+  for (int i = 0; i < kBuffers; ++i) {
+    const double score =
+        use_access_bits
+            ? sampler.EstimatedBytes(segments[i], 0)
+            : manager.access_tracker().AccessedBytes(segments[i], 0,
+                                                     Seconds(1));
+    ranked.push_back({score, i});
+  }
+  std::sort(ranked.rbegin(), ranked.rend());
+
+  Outcome out;
+  for (const auto& [score, i] : ranked) {
+    if (out.migrations >= kMigrationBudget || score <= 0) break;
+    if (manager.MigrateSegment(segments[i], 0).ok()) ++out.migrations;
+  }
+
+  double local = 0, total = 0;
+  for (int i = 0; i < kBuffers; ++i) {
+    total += true_traffic[i];
+    const core::SegmentInfo* info =
+        manager.segment_map().Find(segments[i]);
+    if (!info->home.is_pool() && info->home.server == 0) {
+      local += true_traffic[i];
+    }
+  }
+  out.traffic_local = total == 0 ? 0 : local / total;
+  return out;
+}
+
+}  // namespace
+
+int main() {
+  std::printf(
+      "== Hotness-source ablation: %d-buffer mixed workload, budget of %d "
+      "migrations ==\n",
+      kBuffers, kMigrationBudget);
+  TablePrinter table({"Source", "Migrations", "True traffic made local"});
+  const Outcome exact = Drive(false);
+  const Outcome bits = Drive(true);
+  table.AddRow({"exact counters", std::to_string(exact.migrations),
+                TablePrinter::Num(100 * exact.traffic_local, 0) + "%"});
+  table.AddRow({"access bits", std::to_string(bits.migrations),
+                TablePrinter::Num(100 * bits.traffic_local, 0) + "%"});
+  table.Print();
+  std::printf(
+      "\nAccess bits see footprint, not reuse: they spend the migration\n"
+      "budget on broad scans instead of intensely re-read windows.  The\n"
+      "cheap mechanism the paper suggests works when reuse and footprint\n"
+      "correlate; performance counters are worth their overhead when they\n"
+      "do not (Section 5).\n");
+  return 0;
+}

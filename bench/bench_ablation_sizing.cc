@@ -1,0 +1,104 @@
+// Sizing ablation (§5 "Sizing the shared regions"): a static private/shared
+// split vs the periodic optimizer, over a set of demand scenarios.  The
+// static split either strands capacity (oversized shared) or rejects
+// workloads (undersized); the optimizer adapts per scenario.
+#include <cstdio>
+
+#include "cluster/cluster.h"
+#include "common/table.h"
+#include "core/sizing.h"
+
+namespace {
+
+using namespace lmp;
+using core::ServerDemand;
+using core::SizingOptimizer;
+using core::SizingPlan;
+
+struct Scenario {
+  const char* name;
+  std::vector<ServerDemand> demands;
+};
+
+struct Outcome {
+  bool feasible;
+  double local_fraction;
+  Bytes unmet;
+};
+
+// Evaluates a FIXED shared size per server against the demands.
+Outcome EvaluateStatic(const cluster::Cluster& cluster, Bytes shared_each,
+                       const std::vector<ServerDemand>& demands) {
+  Outcome out{true, 0, 0};
+  const Bytes total = cluster.server(0).total_memory();
+  // Private feasibility: demand must fit in what's left.
+  Bytes pool_capacity = 0;
+  for (const auto& d : demands) {
+    if (d.private_demand > total - shared_each) out.feasible = false;
+    pool_capacity += shared_each;
+  }
+  // Pool demand served FIFO out of the static pool; self-share is the
+  // fraction that happens to land on the demander's own region (1/N of a
+  // striped static pool).
+  Bytes pool_demand = 0;
+  for (const auto& d : demands) pool_demand += d.pool_demand;
+  if (pool_demand > pool_capacity) {
+    out.unmet = pool_demand - pool_capacity;
+  }
+  double local = 0, served = 0;
+  for (const auto& d : demands) {
+    const double share =
+        pool_demand == 0 ? 0
+                         : static_cast<double>(d.pool_demand) *
+                               static_cast<double>(pool_capacity) /
+                               static_cast<double>(
+                                   std::max(pool_demand, pool_capacity));
+    // Striped static pool: 1/N of served bytes are self-local.
+    local += share / cluster.num_servers();
+    served += share;
+  }
+  out.local_fraction = served == 0 ? 1.0 : local / served;
+  return out;
+}
+
+}  // namespace
+
+int main() {
+  cluster::ClusterConfig config = cluster::ClusterConfig::PaperLogical();
+  config.server_shared_memory = 0;
+  cluster::Cluster cluster(config);
+
+  const std::vector<Scenario> scenarios{
+      {"balanced (each wants 10 GiB pool)",
+       {{0, GiB(8), GiB(10), 1}, {1, GiB(8), GiB(10), 1},
+        {2, GiB(8), GiB(10), 1}, {3, GiB(8), GiB(10), 1}}},
+      {"one big analytics job (60 GiB)",
+       {{0, GiB(4), GiB(60), 2}, {1, GiB(4), 0, 1},
+        {2, GiB(4), 0, 1}, {3, GiB(4), 0, 1}}},
+      {"private-heavy day (20 GiB private each)",
+       {{0, GiB(20), GiB(4), 1}, {1, GiB(20), GiB(4), 1},
+        {2, GiB(20), 0, 1}, {3, GiB(20), 0, 1}}},
+      {"mixed priorities under pressure",
+       {{0, GiB(12), GiB(30), 2}, {1, GiB(12), GiB(30), 1},
+        {2, GiB(12), GiB(10), 1}, {3, GiB(12), 0, 1}}},
+  };
+
+  std::printf(
+      "== Sizing ablation: static 12 GiB shared split vs optimizer ==\n");
+  TablePrinter table({"Scenario", "Static feasible", "Static local%",
+                      "Optimizer local%", "Optimizer unmet"});
+  for (const Scenario& s : scenarios) {
+    const Outcome fixed = EvaluateStatic(cluster, GiB(12), s.demands);
+    const SizingPlan plan = SizingOptimizer::Solve(cluster, s.demands);
+    table.AddRow({s.name, fixed.feasible ? "yes" : "NO",
+                  TablePrinter::Num(100 * fixed.local_fraction, 0) + "%",
+                  TablePrinter::Num(100 * plan.LocalFraction(), 0) + "%",
+                  std::to_string(plan.unmet_demand / kGiB) + " GiB"});
+  }
+  table.Print();
+  std::printf(
+      "\nThe optimizer self-serves each server's pool demand first, so its\n"
+      "local-access fraction dominates a striped static split, and it only\n"
+      "sheds demand when the deployment is physically too small.\n");
+  return 0;
+}

@@ -1,0 +1,50 @@
+// Slicing ablation: contiguous vs balanced core-work assignment for the
+// 64 GiB logical vector sum.
+//
+// With contiguous 1/14th slices (the paper's natural reading), cores over
+// the local prefix finish early and the makespan is set by the all-remote
+// cores — the logical advantage is then link-independent.  With balanced
+// slices every core sees the same 3/8-local mix, and the advantage grows
+// as the link slows ("the slower the remote link, the better the
+// performance of LMPs relative to physical pools", §4.3).
+#include <cstdio>
+
+#include "baselines/logical.h"
+#include "baselines/physical.h"
+#include "common/table.h"
+
+int main() {
+  using namespace lmp;
+  std::printf(
+      "== Core-slicing ablation: 64 GiB logical vector sum ==\n");
+  TablePrinter table({"Slicing", "Link", "Logical GB/s", "No-cache GB/s",
+                      "Advantage"});
+  for (const bool balanced : {false, true}) {
+    for (const auto& link :
+         {fabric::LinkProfile::Link0(), fabric::LinkProfile::Link1()}) {
+      baselines::VectorSumParams params;
+      params.vector_bytes = GiB(64);
+      params.repetitions = 5;
+      params.balanced_slices = balanced;
+
+      baselines::LogicalDeployment logical(link);
+      baselines::PhysicalDeployment nocache(link, false);
+      auto rl = logical.RunVectorSum(params);
+      auto rn = nocache.RunVectorSum(params);
+      LMP_CHECK(rl.ok() && rn.ok());
+      table.AddRow({balanced ? "balanced" : "contiguous", link.name,
+                    TablePrinter::Num(rl->avg_bandwidth_gbps),
+                    TablePrinter::Num(rn->avg_bandwidth_gbps),
+                    TablePrinter::Num(rl->avg_bandwidth_gbps /
+                                          rn->avg_bandwidth_gbps,
+                                      2) +
+                        "x"});
+    }
+  }
+  table.Print();
+  std::printf(
+      "\nBalanced slicing makes the logical advantage grow from Link0 to\n"
+      "Link1 — the monotonicity the paper asserts — at the cost of a lower\n"
+      "absolute number (no core finishes early on purely local data).\n");
+  return 0;
+}

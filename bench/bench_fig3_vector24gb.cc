@@ -1,0 +1,10 @@
+// Reproduces Figure 3 of the paper: 24 GiB vector-sum bandwidth on
+// Logical vs Physical cache vs Physical no-cache, over Link0 and Link1.
+#include "figure_harness.h"
+
+int main() {
+  const lmp::Bytes size = lmp::GiB(24);
+  auto rows = lmp::bench::RunFigure(size);
+  lmp::bench::PrintFigure("Figure 3", size, rows);
+  return 0;
+}

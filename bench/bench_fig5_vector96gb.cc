@@ -1,0 +1,10 @@
+// Reproduces Figure 5 of the paper: 96 GiB vector-sum bandwidth on
+// Logical vs Physical cache vs Physical no-cache, over Link0 and Link1.
+#include "figure_harness.h"
+
+int main() {
+  const lmp::Bytes size = lmp::GiB(96);
+  auto rows = lmp::bench::RunFigure(size);
+  lmp::bench::PrintFigure("Figure 5", size, rows);
+  return 0;
+}

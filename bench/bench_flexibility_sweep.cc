@@ -1,0 +1,67 @@
+// Flexibility sweep — Figure 5 generalized.  For a single job's working
+// set swept from 8 to 96 GiB, which deployments can run it at all, and at
+// what locality?
+//
+//   * Physical pool (fixed 64 GiB box): feasible iff <= 64 GiB.
+//   * Static logical split (shared fixed at deployment): feasible iff
+//     <= 4 x shared.
+//   * Flexible LMP (the paper's proposal): the sizing optimizer flexes
+//     every server's split; feasible up to the full 96 GiB.
+#include <cstdio>
+
+#include "common/logging.h"
+#include "common/table.h"
+#include "core/sizing.h"
+
+namespace {
+
+using namespace lmp;
+
+const char* StaticVerdict(Bytes working_set, Bytes shared_per_server) {
+  return working_set <= 4 * shared_per_server ? "ok" : "INFEASIBLE";
+}
+
+}  // namespace
+
+int main() {
+  cluster::ClusterConfig config;
+  config.num_servers = 4;
+  config.server_total_memory = GiB(24);
+  config.server_shared_memory = 0;
+  config.frame_size = MiB(64);
+
+  std::printf(
+      "== Feasibility sweep: one job's working set vs deployment shape "
+      "==\n");
+  TablePrinter table({"Working set", "Physical 64G pool",
+                      "Static 8G/srv", "Static 16G/srv",
+                      "Flexible LMP", "LMP local%"});
+  for (const Bytes gib : {8ull, 24ull, 48ull, 64ull, 80ull, 96ull}) {
+    const Bytes ws = GiB(gib);
+    // Flexible: solve the sizing problem with the job on server 0 and a
+    // small private floor everywhere.
+    cluster::Cluster cluster(config);
+    std::vector<core::ServerDemand> demands{
+        {0, GiB(1), ws, 2.0}, {1, GiB(1), 0, 1.0},
+        {2, GiB(1), 0, 1.0}, {3, GiB(1), 0, 1.0}};
+    const auto plan = core::SizingOptimizer::Solve(cluster, demands);
+    const bool flexible_ok = plan.unmet_demand == 0;
+
+    table.AddRow({std::to_string(gib) + " GiB",
+                  ws <= GiB(64) ? "ok" : "INFEASIBLE",
+                  StaticVerdict(ws, GiB(8)), StaticVerdict(ws, GiB(16)),
+                  flexible_ok ? "ok" : "INFEASIBLE",
+                  flexible_ok
+                      ? TablePrinter::Num(100 * plan.LocalFraction(), 0) +
+                            "%"
+                      : "-"});
+  }
+  table.Print();
+  std::printf(
+      "\nEvery fixed shape has a cliff: the physical pool at its box size,\n"
+      "a static split at 4x its shared slice.  The flexible LMP serves the\n"
+      "whole range (up to total memory minus private floors) and keeps as\n"
+      "much of the working set local as the job's own server can hold —\n"
+      "the generalization of Figure 5's single data point (Section 4.5).\n");
+  return 0;
+}

@@ -1,0 +1,74 @@
+// Incast ablation (§4.2 / Figure 1a): all four servers stream pool data
+// concurrently.  In a physical pool every stream funnels through the pool
+// box's link(s); in a logical pool each server pulls from a different peer,
+// so the fabric load spreads across ports.  Sweeps the number of pool
+// links to show what it takes for the physical pool to catch up.
+#include <cstdio>
+
+#include "common/table.h"
+#include "fabric/topology.h"
+#include "sim/fluid.h"
+#include "sim/stream.h"
+
+namespace {
+
+using namespace lmp;
+
+// Every server streams `bytes` with all cores via `path_of(server, core)`.
+template <typename PathFn>
+double AggregateBandwidth(sim::FluidSimulator* sim, int servers, int cores,
+                          double bytes, PathFn path_of) {
+  std::vector<std::unique_ptr<sim::SpanStream>> streams;
+  for (int s = 0; s < servers; ++s) {
+    for (int c = 0; c < cores; ++c) {
+      streams.push_back(std::make_unique<sim::SpanStream>(
+          sim, std::vector<sim::Span>{
+                   sim::Span{bytes / cores, path_of(s, c)}}));
+    }
+  }
+  return sim::RunStreams(sim, std::move(streams)).gbps;
+}
+
+}  // namespace
+
+int main() {
+  const auto link = lmp::fabric::LinkProfile::Link0();
+  std::printf(
+      "== Incast: 4 servers x 14 cores concurrently reading 8 GiB of pool "
+      "data each (Link0) ==\n");
+  lmp::TablePrinter table({"Deployment", "Aggregate GB/s", "Per-server GB/s"});
+
+  // Logical: server s reads from peer (s+1) % 4 — worst case, all remote.
+  {
+    lmp::sim::FluidSimulator sim;
+    auto topo = lmp::fabric::Topology::MakeLogical(&sim, 4, link);
+    const double gbps = AggregateBandwidth(
+        &sim, 4, 14, 8e9, [&](int s, int c) {
+          return topo.RemotePath(s, c, (s + 1) % 4);
+        });
+    table.AddRow({"Logical (all-remote worst case)",
+                  lmp::TablePrinter::Num(gbps),
+                  lmp::TablePrinter::Num(gbps / 4)});
+  }
+
+  // Physical with 1, 2, 4 pool links.
+  for (int links = 1; links <= 4; links *= 2) {
+    lmp::sim::FluidSimulator sim;
+    auto topo =
+        lmp::fabric::Topology::MakePhysical(&sim, 4, link, {}, links);
+    const double gbps = AggregateBandwidth(
+        &sim, 4, 14, 8e9,
+        [&](int s, int c) { return topo.PoolPath(s, c); });
+    table.AddRow({"Physical, " + std::to_string(links) + " pool link(s)",
+                  lmp::TablePrinter::Num(gbps),
+                  lmp::TablePrinter::Num(gbps / 4)});
+  }
+  table.Print();
+  std::printf(
+      "\nA single-link physical pool serializes every server behind "
+      "%.1f GB/s\n(the thick orange line in Figure 1a); the logical pool "
+      "spreads the same\ntraffic across per-server ports, and placement / "
+      "migration / shipping can\nremove the remote hop entirely.\n",
+      link.bandwidth / 1e9);
+  return 0;
+}

@@ -1,0 +1,79 @@
+// Priority QoS ablation (§5: the sizing objective "prioritizes high-value
+// applications").  Two tenants pull pool data over the same fabric port;
+// weighted max-min sharing in the fabric gives the high-priority tenant a
+// proportional bandwidth share, and the low-priority tenant degrades
+// gracefully instead of halving the VIP's throughput.
+#include <cstdio>
+
+#include "common/logging.h"
+#include "common/table.h"
+#include "fabric/topology.h"
+#include "sim/fluid.h"
+#include "sim/stream.h"
+
+namespace {
+
+using namespace lmp;
+
+struct TenantResult {
+  double vip_gbps;
+  double batch_gbps;
+};
+
+TenantResult Run(double vip_weight) {
+  sim::FluidSimulator sim;
+  auto topo =
+      fabric::Topology::MakeLogical(&sim, 2, fabric::LinkProfile::Link0());
+  // Both tenants on server 0, each with 7 cores, pulling from server 1.
+  std::vector<std::unique_ptr<sim::SpanStream>> vip, batch;
+  const double bytes = 4e9;
+  for (int c = 0; c < 7; ++c) {
+    vip.push_back(std::make_unique<sim::SpanStream>(
+        &sim, std::vector<sim::Span>{
+                  sim::Span{bytes, topo.RemotePath(0, c, 1), vip_weight}}));
+    batch.push_back(std::make_unique<sim::SpanStream>(
+        &sim, std::vector<sim::Span>{
+                  sim::Span{bytes, topo.RemotePath(0, 7 + c, 1), 1.0}}));
+  }
+  for (auto& s : vip) s->Start();
+  for (auto& s : batch) s->Start();
+
+  // Sample throughput over the contended phase: run until the first
+  // tenant finishes, then report per-tenant average rates.
+  sim.Run();
+  double vip_bytes = 0, vip_end = 0, batch_bytes = 0, batch_end = 0;
+  for (auto& s : vip) {
+    vip_bytes += s->total_bytes();
+    vip_end = std::max(vip_end, s->end_time());
+  }
+  for (auto& s : batch) {
+    batch_bytes += s->total_bytes();
+    batch_end = std::max(batch_end, s->end_time());
+  }
+  return TenantResult{ToGBps(vip_bytes, vip_end),
+                      ToGBps(batch_bytes, batch_end)};
+}
+
+}  // namespace
+
+int main() {
+  std::printf(
+      "== Tenant QoS: two 7-core tenants share one 34.5 GB/s fabric port "
+      "==\n");
+  TablePrinter table({"VIP weight", "VIP GB/s", "Batch GB/s",
+                      "VIP share"});
+  for (const double w : {1.0, 2.0, 4.0, 8.0}) {
+    const TenantResult r = Run(w);
+    table.AddRow({TablePrinter::Num(w, 0), TablePrinter::Num(r.vip_gbps),
+                  TablePrinter::Num(r.batch_gbps),
+                  TablePrinter::Num(
+                      100 * r.vip_gbps / (r.vip_gbps + r.batch_gbps), 0) +
+                      "%"});
+  }
+  table.Print();
+  std::printf(
+      "\nWeighted max-min sharing is the enforcement half of §5's\n"
+      "'prioritizing high-value applications': the sizing optimizer plans\n"
+      "by priority, the fabric shares by weight.\n");
+  return 0;
+}

@@ -1,0 +1,56 @@
+// Snoop-filter occupancy ablation (§3.2): why the coherent region must be
+// SMALL.  Four hosts cycle a shared working set through CXL hardware
+// coherence; once the set outgrows the inclusive snoop filter, every new
+// line evicts a tracked one and back-invalidates its holders — coherence
+// traffic explodes.  "Limiting the amount of coherent memory lessens the
+// likelihood of filling CXL's Inclusive Snoop Filter."
+#include <cstdio>
+
+#include "common/table.h"
+#include "fabric/cxl.h"
+
+int main() {
+  using namespace lmp;
+  constexpr std::uint64_t kFilterLines = 32 * 1024;  // 2 MiB of 64B lines
+  constexpr int kHosts = 4;
+  constexpr int kRounds = 4;
+
+  std::printf(
+      "== Inclusive snoop filter: working-set sweep (filter tracks %llu "
+      "lines = %llu MiB) ==\n",
+      static_cast<unsigned long long>(kFilterLines),
+      static_cast<unsigned long long>(kFilterLines * 64 / kMiB));
+  TablePrinter table({"Coherent working set", "Filter occupancy",
+                      "Back-invalidations", "BI per access"});
+
+  for (const double ratio : {0.25, 0.5, 0.9, 1.1, 2.0, 4.0}) {
+    const auto lines =
+        static_cast<std::uint64_t>(ratio * kFilterLines);
+    fabric::SnoopFilter filter(kFilterLines);
+    std::uint64_t accesses = 0;
+    for (int round = 0; round < kRounds; ++round) {
+      for (std::uint64_t line = 0; line < lines; ++line) {
+        (void)filter.OnRead(static_cast<int>(line % kHosts), line);
+        ++accesses;
+      }
+    }
+    table.AddRow(
+        {TablePrinter::Num(static_cast<double>(lines) * 64 / kMiB, 1) +
+             " MiB (" + TablePrinter::Num(ratio, 2) + "x filter)",
+         TablePrinter::Num(100.0 * filter.tracked_lines() / kFilterLines,
+                           0) +
+             "%",
+         std::to_string(filter.total_back_invalidations()),
+         TablePrinter::Num(
+             static_cast<double>(filter.total_back_invalidations()) /
+                 static_cast<double>(accesses),
+             3)});
+  }
+  table.Print();
+  std::printf(
+      "\nBelow the filter size: zero back-invalidations. Beyond it, nearly\n"
+      "every access evicts a tracked line — hardware coherence stops\n"
+      "scaling, which is why LMPs keep the coherent region to a few GBs\n"
+      "and run the bulk of the pool non-coherent (Section 3.2).\n");
+  return 0;
+}

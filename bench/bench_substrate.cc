@@ -1,0 +1,122 @@
+// Substrate microbenchmarks (google-benchmark): the per-operation CPU
+// costs of the runtime's building blocks — the overheads a real LMP
+// deployment would pay per allocation/lookup, independent of fabric
+// timing.
+#include <benchmark/benchmark.h>
+
+#include "common/logging.h"
+#include "common/rng.h"
+#include "core/pool_manager.h"
+#include "mem/frame_allocator.h"
+#include "mem/lru_cache.h"
+
+namespace {
+
+using namespace lmp;
+
+void BM_FrameAllocator_AllocFree(benchmark::State& state) {
+  const auto frames_per_alloc = static_cast<std::uint64_t>(state.range(0));
+  mem::FrameAllocator alloc(1 << 20, KiB(64));  // 64 GiB worth of frames
+  for (auto _ : state) {
+    auto runs = alloc.Allocate(frames_per_alloc);
+    benchmark::DoNotOptimize(runs);
+    LMP_CHECK_OK(alloc.Free(runs.value()));
+  }
+  state.counters["frames"] = static_cast<double>(frames_per_alloc);
+}
+BENCHMARK(BM_FrameAllocator_AllocFree)->Arg(1)->Arg(64)->Arg(4096);
+
+void BM_FrameAllocator_FragmentedAlloc(benchmark::State& state) {
+  // Checkerboard the bitmap, then time scattered allocations.
+  mem::FrameAllocator alloc(1 << 16, KiB(64));
+  std::vector<std::vector<mem::FrameRun>> held;
+  for (int i = 0; i < (1 << 15); ++i) {
+    auto a = alloc.Allocate(1);
+    auto b = alloc.Allocate(1);
+    LMP_CHECK(a.ok() && b.ok());
+    held.push_back(std::move(a).value());  // keep odd ones
+    LMP_CHECK_OK(alloc.Free(b.value()));
+  }
+  for (auto _ : state) {
+    auto runs = alloc.Allocate(256);
+    benchmark::DoNotOptimize(runs);
+    LMP_CHECK_OK(alloc.Free(runs.value()));
+  }
+}
+BENCHMARK(BM_FrameAllocator_FragmentedAlloc);
+
+void BM_LruCache_HitPath(benchmark::State& state) {
+  mem::LruCache cache(1 << 16);
+  for (mem::PageId p = 0; p < (1 << 16); ++p) cache.Access(p);
+  mem::PageId p = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(cache.Access(p));
+    p = (p + 1) & 0xFFFF;
+  }
+}
+BENCHMARK(BM_LruCache_HitPath);
+
+void BM_LruCache_MissEvict(benchmark::State& state) {
+  mem::LruCache cache(1 << 10);
+  mem::PageId p = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(cache.Access(p++));  // always a miss
+  }
+}
+BENCHMARK(BM_LruCache_MissEvict);
+
+void BM_PoolManager_AllocateFree(benchmark::State& state) {
+  cluster::ClusterConfig config;
+  config.num_servers = 4;
+  config.server_total_memory = GiB(24);
+  config.server_shared_memory = GiB(24);
+  config.frame_size = KiB(64);
+  cluster::Cluster cluster(config);
+  core::PoolManager manager(&cluster);
+  for (auto _ : state) {
+    auto buf = manager.Allocate(MiB(64), 0);
+    benchmark::DoNotOptimize(buf);
+    LMP_CHECK_OK(manager.Free(buf.value()));
+  }
+}
+BENCHMARK(BM_PoolManager_AllocateFree);
+
+void BM_PoolManager_SpanResolution(benchmark::State& state) {
+  cluster::ClusterConfig config;
+  config.num_servers = 4;
+  config.server_total_memory = GiB(24);
+  config.server_shared_memory = GiB(24);
+  config.frame_size = KiB(64);
+  cluster::Cluster cluster(config);
+  core::PoolManager manager(&cluster);
+  auto buf = manager.Allocate(GiB(64), 0);  // spans several servers
+  LMP_CHECK(buf.ok());
+  Rng rng(5);
+  for (auto _ : state) {
+    const Bytes off = rng.NextBounded(GiB(63));
+    benchmark::DoNotOptimize(manager.Spans(*buf, off, MiB(1)));
+  }
+}
+BENCHMARK(BM_PoolManager_SpanResolution);
+
+void BM_PoolManager_TouchHotness(benchmark::State& state) {
+  cluster::ClusterConfig config;
+  config.num_servers = 4;
+  config.server_total_memory = GiB(24);
+  config.server_shared_memory = GiB(24);
+  config.frame_size = KiB(64);
+  cluster::Cluster cluster(config);
+  core::PoolManager manager(&cluster);
+  auto buf = manager.Allocate(GiB(4), 0);
+  LMP_CHECK(buf.ok());
+  SimTime now = 0;
+  for (auto _ : state) {
+    LMP_CHECK_OK(manager.Touch(1, *buf, 0, MiB(1), now));
+    now += 100.0;
+  }
+}
+BENCHMARK(BM_PoolManager_TouchHotness);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,121 @@
+// Address-translation microbenchmarks (§5 "Address translation"),
+// google-benchmark.
+//
+// Measures the real CPU cost of the two-step path (cached hit, cold miss,
+// post-migration stale refresh) and contrasts with a *modelled* flat
+// directory, where every translation would pay a remote fabric access —
+// the design §5 rejects.  The FabricNs counter on each benchmark reports
+// the simulated fabric latency the scheme adds per translation.
+#include <benchmark/benchmark.h>
+
+#include "core/segment_map.h"
+#include "core/translation.h"
+#include "fabric/link.h"
+
+namespace {
+
+using namespace lmp;
+using core::AddressTranslator;
+using core::Location;
+using core::SegmentId;
+using core::SegmentInfo;
+using core::SegmentMap;
+
+SegmentMap MakeMap(int segments) {
+  SegmentMap map;
+  for (int i = 0; i < segments; ++i) {
+    SegmentInfo info;
+    info.id = static_cast<SegmentId>(i);
+    info.size = GiB(1);
+    info.home = Location::OnServer(i % 4);
+    LMP_CHECK_OK(map.Insert(info));
+  }
+  return map;
+}
+
+void BM_TwoStep_CacheHit(benchmark::State& state) {
+  SegmentMap map = MakeMap(1024);
+  AddressTranslator translator(&map, 4096);
+  // Warm the cache.
+  for (SegmentId s = 0; s < 1024; ++s) {
+    (void)translator.TranslateHome(s);
+  }
+  SegmentId s = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(translator.TranslateHome(s));
+    s = (s + 1) & 1023;
+  }
+  // Two-step with a hot cache: zero fabric traffic.
+  state.counters["FabricNs"] = 0;
+}
+BENCHMARK(BM_TwoStep_CacheHit);
+
+void BM_TwoStep_CacheMiss(benchmark::State& state) {
+  SegmentMap map = MakeMap(65536);
+  // Cache far smaller than the segment population: every lookup misses.
+  AddressTranslator translator(&map, 64);
+  SegmentId s = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(translator.TranslateHome(s));
+    s = (s + 9973) % 65536;
+  }
+  // A miss still resolves against the LOCAL replica of the coarse map.
+  state.counters["FabricNs"] = 0;
+}
+BENCHMARK(BM_TwoStep_CacheMiss);
+
+void BM_TwoStep_StaleAfterMigration(benchmark::State& state) {
+  SegmentMap map = MakeMap(16);
+  AddressTranslator translator(&map, 4096);
+  for (SegmentId s = 0; s < 16; ++s) (void)translator.TranslateHome(s);
+  int flip = 0;
+  for (auto _ : state) {
+    state.PauseTiming();
+    // Migrate segment 3 so the cached entry is stale by generation.
+    LMP_CHECK_OK(map.UpdateHome(3, Location::OnServer(flip++ & 3)));
+    state.ResumeTiming();
+    benchmark::DoNotOptimize(translator.TranslateHome(SegmentId{3}));
+  }
+  state.counters["FabricNs"] = 0;
+}
+BENCHMARK(BM_TwoStep_StaleAfterMigration);
+
+// The rejected design: a single flat directory homed on one server.  The
+// lookup itself is as cheap as ours — but 3 of 4 servers pay a remote
+// fabric round-trip per translation.  We charge the Link0 unloaded latency
+// as a counter (the simulated fabric is not the CPU being benchmarked).
+void BM_FlatDirectory_RemoteLookup(benchmark::State& state) {
+  SegmentMap map = MakeMap(1024);
+  const auto link = fabric::LinkProfile::Link0();
+  SegmentId s = 0;
+  double fabric_ns = 0;
+  std::int64_t lookups = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(map.Lookup(s));
+    fabric_ns += link.LoadedLatency(0);  // remote round-trip per lookup
+    ++lookups;
+    s = (s + 1) & 1023;
+  }
+  state.counters["FabricNs"] =
+      benchmark::Counter(fabric_ns / static_cast<double>(lookups));
+}
+BENCHMARK(BM_FlatDirectory_RemoteLookup);
+
+// Hit-rate sweep: cache capacity as a fraction of the working set.
+void BM_TwoStep_HitRateSweep(benchmark::State& state) {
+  const int segments = 4096;
+  const int capacity = static_cast<int>(state.range(0));
+  SegmentMap map = MakeMap(segments);
+  AddressTranslator translator(&map, capacity);
+  SegmentId s = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(translator.TranslateHome(s));
+    s = (s + 1) % segments;
+  }
+  state.counters["HitRate"] = translator.stats().HitRate();
+}
+BENCHMARK(BM_TwoStep_HitRateSweep)->Arg(256)->Arg(1024)->Arg(4096);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,67 @@
+// MemoryDeployment: the experiment-facing interface over a deployment.
+//
+// §4.1's microbenchmark: one server sums a large vector that lives in
+// disaggregated memory, using all 14 cores (each core sums a contiguous
+// slice), repeated 10 times; the metric is average bandwidth.  Every
+// deployment — Logical, Physical cache, Physical no-cache — implements
+// RunVectorSum over the shared fluid simulator so Figures 2–5 are produced
+// by one harness.
+#pragma once
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "common/status.h"
+#include "common/units.h"
+#include "fabric/link.h"
+
+namespace lmp::baselines {
+
+struct VectorSumParams {
+  Bytes vector_bytes = GiB(8);
+  int repetitions = 10;   // the paper repeats 10x and averages
+  int runner = 0;         // server executing the sum
+  int cores = 14;         // cores used by the runner
+  // Work assignment across cores.  false = contiguous 1/Nth slices (the
+  // paper's natural reading: cores over the local prefix finish early and
+  // the makespan is remote-bound).  true = every core gets a proportional
+  // share of each location (balanced local/remote mix per core), which
+  // makes the logical pool's advantage grow as the link slows — the
+  // slicing ablation explores the difference.
+  bool balanced_slices = false;
+};
+
+struct VectorSumResult {
+  bool feasible = true;
+  std::string infeasible_reason;
+  double avg_bandwidth_gbps = 0;    // total bytes / total time
+  double first_rep_gbps = 0;        // includes cold cache fills
+  double steady_rep_gbps = 0;       // last repetition
+  double local_fraction = 0;        // fraction of vector local to runner
+  double cache_hit_rate = 0;        // physical-cache only
+  SimTime total_time_ns = 0;
+};
+
+class MemoryDeployment {
+ public:
+  virtual ~MemoryDeployment() = default;
+  virtual std::string_view name() const = 0;
+  virtual const fabric::LinkProfile& link() const = 0;
+
+  // Runs the paper's aggregation microbenchmark.  An infeasible workload
+  // (vector larger than the pool — Figure 5's physical case) reports
+  // feasible=false rather than an error: infeasibility IS the result.
+  virtual StatusOr<VectorSumResult> RunVectorSum(
+      const VectorSumParams& params) = 0;
+};
+
+// Contiguous per-core slices of [0, total): core i gets
+// [i*total/cores, (i+1)*total/cores).
+struct CoreSlice {
+  Bytes offset = 0;
+  Bytes length = 0;
+};
+std::vector<CoreSlice> SliceForCores(Bytes total, int cores);
+
+}  // namespace lmp::baselines

@@ -1,0 +1,186 @@
+#include "baselines/logical.h"
+
+#include <algorithm>
+
+#include "common/logging.h"
+#include "sim/stream.h"
+
+namespace lmp::baselines {
+
+std::vector<CoreSlice> SliceForCores(Bytes total, int cores) {
+  LMP_CHECK(cores > 0);
+  std::vector<CoreSlice> slices;
+  slices.reserve(cores);
+  const Bytes base = total / cores;
+  Bytes pos = 0;
+  for (int c = 0; c < cores; ++c) {
+    // Last core absorbs the remainder.
+    const Bytes len = (c + 1 == cores) ? (total - pos) : base;
+    slices.push_back(CoreSlice{pos, len});
+    pos += len;
+  }
+  return slices;
+}
+
+LogicalDeployment::LogicalDeployment(
+    const fabric::LinkProfile& link, const cluster::ClusterConfig& config,
+    std::unique_ptr<core::PlacementPolicy> placement)
+    : link_(link) {
+  fabric::MachineProfile machine;
+  machine.cores_per_server = config.cores_per_server;
+  topology_ = std::make_unique<fabric::Topology>(fabric::Topology::MakeLogical(
+      &sim_, config.num_servers, link, machine));
+  cluster_ = std::make_unique<cluster::Cluster>(config);
+  manager_ = std::make_unique<core::PoolManager>(cluster_.get(),
+                                                 std::move(placement));
+}
+
+StatusOr<VectorSumResult> LogicalDeployment::RunVectorSum(
+    const VectorSumParams& params) {
+  VectorSumResult result;
+
+  auto buffer_or = manager_->Allocate(
+      params.vector_bytes,
+      static_cast<cluster::ServerId>(params.runner));
+  if (!buffer_or.ok()) {
+    if (IsOutOfMemory(buffer_or.status())) {
+      result.feasible = false;
+      result.infeasible_reason = buffer_or.status().message();
+      return result;
+    }
+    return buffer_or.status();
+  }
+  const core::BufferId buffer = buffer_or.value();
+
+  LMP_ASSIGN_OR_RETURN(
+      result.local_fraction,
+      manager_->LocalFraction(buffer,
+                              static_cast<cluster::ServerId>(params.runner)));
+
+  const auto runner = static_cast<fabric::ServerIndex>(params.runner);
+  const std::vector<CoreSlice> slices =
+      SliceForCores(params.vector_bytes, params.cores);
+
+  // Path for one located span as seen from (runner, core).
+  auto path_for = [&](const core::LocatedSpan& ls, int c) {
+    LMP_CHECK(!ls.location.is_pool());
+    return ls.location.server == runner
+               ? topology_->LocalPath(runner, c)
+               : topology_->RemotePath(runner, c, ls.location.server);
+  };
+
+  // Per-core span lists.  Contiguous: core c walks its own 1/Nth of the
+  // vector.  Balanced: every core takes a proportional share of each
+  // located span, so all cores see the same local/remote mix.
+  std::vector<std::vector<sim::Span>> per_core(params.cores);
+  if (!params.balanced_slices) {
+    for (int c = 0; c < params.cores; ++c) {
+      const CoreSlice& slice = slices[c];
+      if (slice.length == 0) continue;
+      LMP_ASSIGN_OR_RETURN(
+          auto located,
+          manager_->Spans(buffer, slice.offset, slice.length));
+      for (const core::LocatedSpan& ls : located) {
+        per_core[c].push_back(sim::Span{static_cast<double>(ls.bytes),
+                                        path_for(ls, c)});
+      }
+    }
+  } else {
+    LMP_ASSIGN_OR_RETURN(auto located,
+                         manager_->Spans(buffer, 0, params.vector_bytes));
+    for (const core::LocatedSpan& ls : located) {
+      const double share =
+          static_cast<double>(ls.bytes) / params.cores;
+      for (int c = 0; c < params.cores; ++c) {
+        per_core[c].push_back(sim::Span{share, path_for(ls, c)});
+      }
+    }
+  }
+
+  const SimTime start = sim_.now();
+  double first_rep = 0, last_rep = 0;
+  for (int rep = 0; rep < params.repetitions; ++rep) {
+    std::vector<std::unique_ptr<sim::SpanStream>> streams;
+    for (int c = 0; c < params.cores; ++c) {
+      if (per_core[c].empty()) continue;
+      streams.push_back(
+          std::make_unique<sim::SpanStream>(&sim_, per_core[c]));
+    }
+    const sim::ParallelRunResult rep_result =
+        sim::RunStreams(&sim_, std::move(streams));
+    if (rep == 0) first_rep = rep_result.gbps;
+    last_rep = rep_result.gbps;
+  }
+
+  const SimTime elapsed = sim_.now() - start;
+  result.total_time_ns = elapsed;
+  result.avg_bandwidth_gbps =
+      ToGBps(static_cast<double>(params.vector_bytes) * params.repetitions,
+             elapsed);
+  result.first_rep_gbps = first_rep;
+  result.steady_rep_gbps = last_rep;
+  LMP_CHECK_OK(manager_->Free(buffer));
+  return result;
+}
+
+StatusOr<VectorSumResult> LogicalDeployment::RunDistributedSum(
+    const VectorSumParams& params) {
+  VectorSumResult result;
+
+  auto buffer_or = manager_->Allocate(
+      params.vector_bytes,
+      static_cast<cluster::ServerId>(params.runner));
+  if (!buffer_or.ok()) {
+    if (IsOutOfMemory(buffer_or.status())) {
+      result.feasible = false;
+      result.infeasible_reason = buffer_or.status().message();
+      return result;
+    }
+    return buffer_or.status();
+  }
+  const core::BufferId buffer = buffer_or.value();
+
+  // Every server processes exactly the spans it hosts, with its own cores:
+  // computation shipping makes all accesses local (§4.4).
+  LMP_ASSIGN_OR_RETURN(auto located,
+                       manager_->Spans(buffer, 0, params.vector_bytes));
+  // Group bytes per hosting server.
+  std::vector<Bytes> per_server(cluster_->num_servers(), 0);
+  for (const core::LocatedSpan& ls : located) {
+    LMP_CHECK(!ls.location.is_pool());
+    per_server[ls.location.server] += ls.bytes;
+  }
+
+  const SimTime start = sim_.now();
+  for (int rep = 0; rep < params.repetitions; ++rep) {
+    std::vector<std::unique_ptr<sim::SpanStream>> streams;
+    for (int s = 0; s < cluster_->num_servers(); ++s) {
+      if (per_server[s] == 0) continue;
+      const auto host = static_cast<fabric::ServerIndex>(s);
+      const std::vector<CoreSlice> slices =
+          SliceForCores(per_server[s], params.cores);
+      for (int c = 0; c < params.cores; ++c) {
+        if (slices[c].length == 0) continue;
+        std::vector<sim::Span> spans{
+            sim::Span{static_cast<double>(slices[c].length),
+                      topology_->LocalPath(host, c)}};
+        streams.push_back(
+            std::make_unique<sim::SpanStream>(&sim_, std::move(spans)));
+      }
+    }
+    (void)sim::RunStreams(&sim_, std::move(streams));
+  }
+
+  const SimTime elapsed = sim_.now() - start;
+  result.total_time_ns = elapsed;
+  result.avg_bandwidth_gbps =
+      ToGBps(static_cast<double>(params.vector_bytes) * params.repetitions,
+             elapsed);
+  result.local_fraction = 1.0;  // by construction
+  result.first_rep_gbps = result.avg_bandwidth_gbps;
+  result.steady_rep_gbps = result.avg_bandwidth_gbps;
+  LMP_CHECK_OK(manager_->Free(buffer));
+  return result;
+}
+
+}  // namespace lmp::baselines

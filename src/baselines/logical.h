@@ -1,0 +1,54 @@
+// LogicalDeployment: the paper's proposal, on the timing layer.
+//
+// 4 servers, 24 GB each, every byte shared (§4.1 "Logical").  The vector is
+// placed local-first from the running server, so an 8/24 GB vector is fully
+// local, a 64 GB vector is 3/8 local, and a 96 GB vector fills the whole
+// pool (feasible, unlike the physical pool).  Each repetition streams every
+// core's slice through the fluid simulator: local spans ride
+// core->local-DRAM, remote spans ride core->port->peer-port->peer-DRAM.
+//
+// RunDistributedSum implements §4.4: the sum is shipped to every server so
+// each sums its own local portion with its own cores — all traffic local.
+#pragma once
+
+#include <memory>
+
+#include "baselines/deployment.h"
+#include "cluster/cluster.h"
+#include "core/pool_manager.h"
+#include "fabric/topology.h"
+#include "sim/fluid.h"
+
+namespace lmp::baselines {
+
+class LogicalDeployment : public MemoryDeployment {
+ public:
+  explicit LogicalDeployment(
+      const fabric::LinkProfile& link,
+      const cluster::ClusterConfig& config =
+          cluster::ClusterConfig::PaperLogical(),
+      std::unique_ptr<core::PlacementPolicy> placement = nullptr);
+
+  std::string_view name() const override { return "Logical"; }
+  const fabric::LinkProfile& link() const override { return link_; }
+
+  StatusOr<VectorSumResult> RunVectorSum(
+      const VectorSumParams& params) override;
+
+  // §4.4 near-memory computing: every server sums its local part.
+  StatusOr<VectorSumResult> RunDistributedSum(const VectorSumParams& params);
+
+  core::PoolManager& manager() { return *manager_; }
+  cluster::Cluster& cluster() { return *cluster_; }
+  sim::FluidSimulator& simulator() { return sim_; }
+  fabric::Topology& topology() { return *topology_; }
+
+ private:
+  fabric::LinkProfile link_;
+  sim::FluidSimulator sim_;
+  std::unique_ptr<fabric::Topology> topology_;
+  std::unique_ptr<cluster::Cluster> cluster_;
+  std::unique_ptr<core::PoolManager> manager_;
+};
+
+}  // namespace lmp::baselines

@@ -1,0 +1,67 @@
+// Physical-pool baselines (§4.1): a separate 64 GB memory box behind the
+// fabric switch, 8 GB of local DRAM per server.
+//
+// Two variants, as in the paper:
+//  * PhysicalNoCache — every pool access crosses the fabric, every time.
+//  * PhysicalCache   — local DRAM caches pool data ("caching incurs an
+//    upfront memcpy() overhead but provides faster subsequent reads").
+//
+// The cache supports two policies:
+//  * kPinned (default, matches the paper's memcpy-a-prefix behaviour): the
+//    first min(cache, vector) bytes of the vector are copied local on first
+//    touch and hit thereafter.  Steady-state hit rate = cache/vector.
+//  * kLru: classic page-granularity LRU.  A sequential sweep larger than
+//    the cache degenerates to a 0% hit rate — the thrash ablation.
+//
+// Feasibility: the vector must fit the pool box's 64 GB.  A 96 GB vector
+// fails allocation — Figure 5's result — because no software knob can move
+// DIMMs out of the servers into the box.
+#pragma once
+
+#include <memory>
+
+#include "baselines/deployment.h"
+#include "cluster/cluster.h"
+#include "fabric/topology.h"
+#include "mem/lru_cache.h"
+#include "sim/fluid.h"
+
+namespace lmp::baselines {
+
+enum class CachePolicy { kPinned, kLru };
+
+class PhysicalDeployment : public MemoryDeployment {
+ public:
+  // use_cache=false gives the "Physical no-cache" baseline.
+  PhysicalDeployment(const fabric::LinkProfile& link, bool use_cache,
+                     CachePolicy policy = CachePolicy::kPinned,
+                     const cluster::ClusterConfig& config =
+                         cluster::ClusterConfig::PaperPhysical(),
+                     int pool_ports = 1);
+
+  std::string_view name() const override {
+    return use_cache_ ? "Physical cache" : "Physical no-cache";
+  }
+  const fabric::LinkProfile& link() const override { return link_; }
+
+  StatusOr<VectorSumResult> RunVectorSum(
+      const VectorSumParams& params) override;
+
+  sim::FluidSimulator& simulator() { return sim_; }
+  fabric::Topology& topology() { return *topology_; }
+  cluster::Cluster& cluster() { return *cluster_; }
+
+ private:
+  StatusOr<VectorSumResult> RunNoCache(const VectorSumParams& params);
+  StatusOr<VectorSumResult> RunPinnedCache(const VectorSumParams& params);
+  StatusOr<VectorSumResult> RunLruCache(const VectorSumParams& params);
+
+  fabric::LinkProfile link_;
+  bool use_cache_;
+  CachePolicy policy_;
+  sim::FluidSimulator sim_;
+  std::unique_ptr<fabric::Topology> topology_;
+  std::unique_ptr<cluster::Cluster> cluster_;
+};
+
+}  // namespace lmp::baselines

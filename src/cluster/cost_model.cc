@@ -1,0 +1,78 @@
+#include "cluster/cost_model.h"
+
+#include <sstream>
+
+namespace lmp::cluster {
+namespace {
+
+int DimmsFor(Bytes memory, Bytes dimm_capacity) {
+  return static_cast<int>((memory + dimm_capacity - 1) / dimm_capacity);
+}
+
+DeploymentCost Price(ComponentInventory inv, const CostModelParams& p) {
+  DeploymentCost cost;
+  cost.inventory = inv;
+  cost.memory_usd = inv.dimms * p.usd_per_dimm;
+  cost.infrastructure_usd = inv.fabric_switches * p.usd_per_switch +
+                            inv.switch_ports * p.usd_per_switch_port +
+                            inv.fabric_adapters * p.usd_per_fabric_adapter +
+                            inv.pool_chassis * p.usd_per_pool_chassis +
+                            inv.rack_units * p.usd_per_rack_unit;
+  cost.total_usd = cost.memory_usd + cost.infrastructure_usd +
+                   inv.servers * p.usd_per_server;
+  return cost;
+}
+
+}  // namespace
+
+std::string ComponentInventory::ToString() const {
+  std::ostringstream os;
+  os << "servers=" << servers << " switches=" << fabric_switches
+     << " ports=" << switch_ports << " adapters=" << fabric_adapters
+     << " pool_chassis=" << pool_chassis << " rack_units=" << rack_units
+     << " dimms=" << dimms
+     << " total_mem_gib=" << total_memory / kGiB
+     << " pooled_gib=" << disaggregated_memory / kGiB;
+  return os.str();
+}
+
+DeploymentCost LogicalDeploymentCost(int num_servers, Bytes memory_per_server,
+                                     Bytes shared_per_server,
+                                     const CostModelParams& params) {
+  ComponentInventory inv;
+  inv.servers = num_servers;
+  inv.fabric_switches = 1;
+  inv.switch_ports = num_servers;          // one port per server, nothing else
+  inv.fabric_adapters = num_servers;
+  inv.pool_chassis = 0;
+  inv.rack_units = num_servers * params.rack_units_per_server;
+  inv.dimms =
+      num_servers * DimmsFor(memory_per_server, params.dimm_capacity);
+  inv.total_memory = static_cast<Bytes>(num_servers) * memory_per_server;
+  inv.disaggregated_memory =
+      static_cast<Bytes>(num_servers) * shared_per_server;
+  inv.server_local_memory = memory_per_server;
+  return Price(inv, params);
+}
+
+DeploymentCost PhysicalDeploymentCost(int num_servers, Bytes local_per_server,
+                                      Bytes pool_capacity, int pool_links,
+                                      const CostModelParams& params) {
+  ComponentInventory inv;
+  inv.servers = num_servers;
+  inv.fabric_switches = 1;
+  inv.switch_ports = num_servers + pool_links;  // extra port(s) for the pool
+  inv.fabric_adapters = num_servers + pool_links;
+  inv.pool_chassis = 1;
+  inv.rack_units = num_servers * params.rack_units_per_server +
+                   params.rack_units_per_pool;
+  inv.dimms = num_servers * DimmsFor(local_per_server, params.dimm_capacity) +
+              DimmsFor(pool_capacity, params.dimm_capacity);
+  inv.total_memory =
+      static_cast<Bytes>(num_servers) * local_per_server + pool_capacity;
+  inv.disaggregated_memory = pool_capacity;
+  inv.server_local_memory = local_per_server;
+  return Price(inv, params);
+}
+
+}  // namespace lmp::cluster

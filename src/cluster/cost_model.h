@@ -1,0 +1,67 @@
+// Deployment cost model for §4.2 ("Lower Entry Barrier").
+//
+// The paper compares the two architectures by the component inventory each
+// needs: both need a fabric switch and one adapter per server, but a
+// physical pool additionally needs a chassis (power supply, motherboard,
+// CPU or ASIC/FPGA controller), rack space, and extra switch ports — plus
+// possibly multiple pool links to avoid incast.  The model also covers the
+// paper's two memory scenarios: equal *disaggregated* memory (the physical
+// pool needs extra DIMMs for server-local memory) and equal *total* memory
+// (physical servers end up with less local memory).
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "common/units.h"
+
+namespace lmp::cluster {
+
+struct ComponentInventory {
+  int servers = 0;
+  int fabric_switches = 0;
+  int switch_ports = 0;
+  int fabric_adapters = 0;
+  int pool_chassis = 0;       // PSU + motherboard + controller
+  int rack_units = 0;
+  int dimms = 0;
+  Bytes total_memory = 0;
+  Bytes disaggregated_memory = 0;
+  Bytes server_local_memory = 0;  // per server
+
+  std::string ToString() const;
+};
+
+struct CostModelParams {
+  double usd_per_server = 8000;
+  double usd_per_switch = 4000;
+  double usd_per_switch_port = 300;
+  double usd_per_fabric_adapter = 250;
+  double usd_per_pool_chassis = 3500;   // PSU + board + controller silicon
+  double usd_per_rack_unit = 150;       // amortised space/power per RU
+  double usd_per_dimm = 350;            // 32 GiB DDR5 DIMM
+  Bytes dimm_capacity = GiB(32);
+  int rack_units_per_server = 1;
+  int rack_units_per_pool = 2;
+};
+
+struct DeploymentCost {
+  ComponentInventory inventory;
+  double memory_usd = 0;
+  double infrastructure_usd = 0;  // everything except DIMMs and servers
+  double total_usd = 0;
+};
+
+// Logical deployment: `num_servers` hosts, each with `memory_per_server`,
+// of which `shared_per_server` joins the pool.
+DeploymentCost LogicalDeploymentCost(int num_servers, Bytes memory_per_server,
+                                     Bytes shared_per_server,
+                                     const CostModelParams& params = {});
+
+// Physical deployment: hosts with `local_per_server` plus a pool box of
+// `pool_capacity` attached via `pool_links` switch ports.
+DeploymentCost PhysicalDeploymentCost(int num_servers, Bytes local_per_server,
+                                      Bytes pool_capacity, int pool_links = 1,
+                                      const CostModelParams& params = {});
+
+}  // namespace lmp::cluster

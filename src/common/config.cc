@@ -1,0 +1,167 @@
+#include "common/config.h"
+
+#include <algorithm>
+#include <cctype>
+#include <charconv>
+#include <sstream>
+
+namespace lmp {
+namespace {
+
+std::string_view Trim(std::string_view s) {
+  while (!s.empty() && std::isspace(static_cast<unsigned char>(s.front()))) {
+    s.remove_prefix(1);
+  }
+  while (!s.empty() && std::isspace(static_cast<unsigned char>(s.back()))) {
+    s.remove_suffix(1);
+  }
+  return s;
+}
+
+Status ParsePair(std::string_view token, Config* config) {
+  const std::size_t eq = token.find('=');
+  if (eq == std::string_view::npos || eq == 0) {
+    return InvalidArgumentError("expected key=value, got '" +
+                                std::string(token) + "'");
+  }
+  config->Set(std::string(Trim(token.substr(0, eq))),
+              std::string(Trim(token.substr(eq + 1))));
+  return Status::Ok();
+}
+
+}  // namespace
+
+StatusOr<Config> Config::Parse(std::string_view text) {
+  Config config;
+  std::size_t pos = 0;
+  while (pos < text.size()) {
+    // Strip comments line by line.
+    std::size_t eol = text.find('\n', pos);
+    if (eol == std::string_view::npos) eol = text.size();
+    std::string_view line = text.substr(pos, eol - pos);
+    pos = eol + 1;
+    const std::size_t hash = line.find('#');
+    if (hash != std::string_view::npos) line = line.substr(0, hash);
+    // Tokenize on whitespace.
+    std::size_t i = 0;
+    while (i < line.size()) {
+      while (i < line.size() &&
+             std::isspace(static_cast<unsigned char>(line[i]))) {
+        ++i;
+      }
+      std::size_t j = i;
+      while (j < line.size() &&
+             !std::isspace(static_cast<unsigned char>(line[j]))) {
+        ++j;
+      }
+      if (j > i) {
+        LMP_RETURN_IF_ERROR(ParsePair(line.substr(i, j - i), &config));
+      }
+      i = j;
+    }
+  }
+  return config;
+}
+
+StatusOr<Config> Config::FromArgs(int argc, const char* const* argv) {
+  Config config;
+  for (int i = 1; i < argc; ++i) {
+    LMP_RETURN_IF_ERROR(ParsePair(argv[i], &config));
+  }
+  return config;
+}
+
+void Config::Set(std::string key, std::string value) {
+  values_[std::move(key)] = std::move(value);
+}
+
+bool Config::Has(std::string_view key) const {
+  return values_.find(key) != values_.end();
+}
+
+StatusOr<std::string> Config::GetString(std::string_view key,
+                                        std::string fallback) const {
+  auto it = values_.find(key);
+  return it == values_.end() ? std::move(fallback) : it->second;
+}
+
+StatusOr<std::int64_t> Config::GetInt(std::string_view key,
+                                      std::int64_t fallback) const {
+  auto it = values_.find(key);
+  if (it == values_.end()) return fallback;
+  std::int64_t out = 0;
+  const auto& v = it->second;
+  auto [ptr, ec] = std::from_chars(v.data(), v.data() + v.size(), out);
+  if (ec != std::errc() || ptr != v.data() + v.size()) {
+    return InvalidArgumentError("bad integer for '" + std::string(key) +
+                                "': " + v);
+  }
+  return out;
+}
+
+StatusOr<double> Config::GetDouble(std::string_view key,
+                                   double fallback) const {
+  auto it = values_.find(key);
+  if (it == values_.end()) return fallback;
+  try {
+    std::size_t consumed = 0;
+    const double out = std::stod(it->second, &consumed);
+    if (consumed != it->second.size()) {
+      return InvalidArgumentError("bad double for '" + std::string(key) +
+                                  "'");
+    }
+    return out;
+  } catch (const std::exception&) {
+    return InvalidArgumentError("bad double for '" + std::string(key) +
+                                "': " + it->second);
+  }
+}
+
+StatusOr<bool> Config::GetBool(std::string_view key, bool fallback) const {
+  auto it = values_.find(key);
+  if (it == values_.end()) return fallback;
+  std::string v = it->second;
+  std::transform(v.begin(), v.end(), v.begin(), [](unsigned char c) {
+    return static_cast<char>(std::tolower(c));
+  });
+  if (v == "true" || v == "1" || v == "yes" || v == "on") return true;
+  if (v == "false" || v == "0" || v == "no" || v == "off") return false;
+  return InvalidArgumentError("bad bool for '" + std::string(key) + "': " +
+                              it->second);
+}
+
+StatusOr<Bytes> Config::GetBytes(std::string_view key,
+                                 Bytes fallback) const {
+  auto it = values_.find(key);
+  if (it == values_.end()) return fallback;
+  std::string_view v = it->second;
+  Bytes multiplier = 1;
+  if (!v.empty()) {
+    switch (std::tolower(static_cast<unsigned char>(v.back()))) {
+      case 'k': multiplier = kKiB; v.remove_suffix(1); break;
+      case 'm': multiplier = kMiB; v.remove_suffix(1); break;
+      case 'g': multiplier = kGiB; v.remove_suffix(1); break;
+      default: break;
+    }
+  }
+  std::uint64_t out = 0;
+  auto [ptr, ec] = std::from_chars(v.data(), v.data() + v.size(), out);
+  if (ec != std::errc() || ptr != v.data() + v.size()) {
+    return InvalidArgumentError("bad size for '" + std::string(key) +
+                                "': " + it->second);
+  }
+  return out * multiplier;
+}
+
+std::string Config::ToString() const {
+  std::ostringstream os;
+  bool first = true;
+  for (const auto& [k, v] : values_) {
+    if (!first) os << " ";
+    os << k << "=" << v;
+    first = false;
+  }
+  return os.str();
+}
+
+}  // namespace lmp

@@ -1,0 +1,52 @@
+// Minimal key=value configuration with typed getters.
+//
+// Benches and examples take overrides like `vector_gib=64 link=link1`
+// either from a config string/file or argv, so experiments are
+// reproducible from a recorded command line.  Size values accept unit
+// suffixes: 4k / 16m / 2g (binary multiples).
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <string_view>
+
+#include "common/status.h"
+#include "common/units.h"
+
+namespace lmp {
+
+class Config {
+ public:
+  Config() = default;
+
+  // Parses "a=1 b=foo  c=2g" (whitespace- or newline-separated pairs;
+  // '#' starts a comment until end of line).
+  static StatusOr<Config> Parse(std::string_view text);
+
+  // Parses argv-style tokens ("key=value"); non-matching tokens error.
+  static StatusOr<Config> FromArgs(int argc, const char* const* argv);
+
+  void Set(std::string key, std::string value);
+  bool Has(std::string_view key) const;
+
+  // Typed getters return the fallback when the key is absent and an error
+  // only when the value is present but malformed.
+  StatusOr<std::string> GetString(std::string_view key,
+                                  std::string fallback = "") const;
+  StatusOr<std::int64_t> GetInt(std::string_view key,
+                                std::int64_t fallback = 0) const;
+  StatusOr<double> GetDouble(std::string_view key,
+                             double fallback = 0) const;
+  StatusOr<bool> GetBool(std::string_view key, bool fallback = false) const;
+  // Accepts raw bytes or k/m/g suffixes (KiB/MiB/GiB).
+  StatusOr<Bytes> GetBytes(std::string_view key, Bytes fallback = 0) const;
+
+  std::size_t size() const { return values_.size(); }
+  std::string ToString() const;
+
+ private:
+  std::map<std::string, std::string, std::less<>> values_;
+};
+
+}  // namespace lmp

@@ -1,0 +1,47 @@
+// Log-bucketed latency histogram (HdrHistogram-style, base-2 buckets with
+// linear sub-buckets).  Used to report loaded-latency distributions for the
+// Table 2 reproduction and the translation/coherence microbenchmarks.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace lmp {
+
+class Histogram {
+ public:
+  // Tracks values in [1, max_value] with ~1.5% relative error.
+  explicit Histogram(std::uint64_t max_value = 1ull << 40);
+
+  void Record(std::uint64_t value);
+  void RecordMany(std::uint64_t value, std::uint64_t count);
+
+  std::uint64_t count() const { return count_; }
+  std::uint64_t min() const;
+  std::uint64_t max() const;
+  double mean() const;
+
+  // p in [0, 100].
+  std::uint64_t Percentile(double p) const;
+
+  void Merge(const Histogram& other);
+  void Reset();
+
+  // "count=... mean=... p50=... p99=... max=..."
+  std::string Summary() const;
+
+ private:
+  static constexpr int kSubBucketBits = 6;  // 64 linear sub-buckets/octave
+  std::size_t BucketIndex(std::uint64_t value) const;
+  std::uint64_t BucketLow(std::size_t index) const;
+
+  std::uint64_t max_value_;
+  std::vector<std::uint64_t> buckets_;
+  std::uint64_t count_ = 0;
+  std::uint64_t min_ = UINT64_MAX;
+  std::uint64_t max_ = 0;
+  double sum_ = 0.0;
+};
+
+}  // namespace lmp

@@ -1,0 +1,75 @@
+// Minimal leveled logger.
+//
+// Severity is filtered globally; the default (kWarning) keeps tests and
+// benchmarks quiet.  LMP_CHECK aborts on violated runtime invariants — used
+// for programmer errors only, never for data-dependent conditions (those
+// return Status).
+#pragma once
+
+#include <sstream>
+#include <string_view>
+
+namespace lmp {
+
+enum class LogLevel : int {
+  kDebug = 0,
+  kInfo = 1,
+  kWarning = 2,
+  kError = 3,
+  kFatal = 4,
+};
+
+void SetLogLevel(LogLevel level);
+LogLevel GetLogLevel();
+
+namespace internal {
+
+class LogMessage {
+ public:
+  LogMessage(LogLevel level, const char* file, int line);
+  ~LogMessage();
+
+  LogMessage(const LogMessage&) = delete;
+  LogMessage& operator=(const LogMessage&) = delete;
+
+  template <typename T>
+  LogMessage& operator<<(const T& value) {
+    stream_ << value;
+    return *this;
+  }
+
+ private:
+  LogLevel level_;
+  std::ostringstream stream_;
+};
+
+// Swallows the streamed expression when the level is filtered out.
+struct LogMessageVoidify {
+  void operator&(LogMessage&) {}
+};
+
+}  // namespace internal
+}  // namespace lmp
+
+#define LMP_LOG_IS_ON(level) \
+  (::lmp::LogLevel::level >= ::lmp::GetLogLevel())
+
+#define LMP_LOG(level)                                              \
+  !LMP_LOG_IS_ON(level)                                             \
+      ? (void)0                                                     \
+      : ::lmp::internal::LogMessageVoidify() &                      \
+            ::lmp::internal::LogMessage(::lmp::LogLevel::level,     \
+                                        __FILE__, __LINE__)
+
+#define LMP_CHECK(cond)                                             \
+  (cond) ? (void)0                                                  \
+         : ::lmp::internal::LogMessageVoidify() &                   \
+               ::lmp::internal::LogMessage(::lmp::LogLevel::kFatal, \
+                                           __FILE__, __LINE__)      \
+                   << "Check failed: " #cond " "
+
+#define LMP_CHECK_OK(expr)                                          \
+  do {                                                              \
+    const ::lmp::Status lmp_check_status_ = (expr);                 \
+    LMP_CHECK(lmp_check_status_.ok()) << lmp_check_status_;         \
+  } while (0)

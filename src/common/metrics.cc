@@ -1,0 +1,81 @@
+#include "common/metrics.h"
+
+#include <chrono>
+#include <sstream>
+
+namespace lmp {
+namespace {
+
+std::uint64_t NowNs() {
+  return static_cast<std::uint64_t>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(
+          std::chrono::steady_clock::now().time_since_epoch())
+          .count());
+}
+
+}  // namespace
+
+void MetricsRegistry::Increment(std::string_view name, std::uint64_t delta) {
+  auto it = counters_.find(name);
+  if (it == counters_.end()) {
+    counters_.emplace(std::string(name), delta);
+  } else {
+    it->second += delta;
+  }
+}
+
+void MetricsRegistry::SetGauge(std::string_view name, double value) {
+  auto it = gauges_.find(name);
+  if (it == gauges_.end()) {
+    gauges_.emplace(std::string(name), value);
+  } else {
+    it->second = value;
+  }
+}
+
+std::uint64_t MetricsRegistry::Counter(std::string_view name) const {
+  auto it = counters_.find(name);
+  return it == counters_.end() ? 0 : it->second;
+}
+
+double MetricsRegistry::Gauge(std::string_view name) const {
+  auto it = gauges_.find(name);
+  return it == gauges_.end() ? 0.0 : it->second;
+}
+
+bool MetricsRegistry::Has(std::string_view name) const {
+  return counters_.find(name) != counters_.end() ||
+         gauges_.find(name) != gauges_.end();
+}
+
+void MetricsRegistry::Reset() {
+  counters_.clear();
+  gauges_.clear();
+}
+
+std::string MetricsRegistry::Report() const {
+  TablePrinter table({"Metric", "Value", "Kind"});
+  for (const auto& [name, value] : counters_) {
+    table.AddRow({name, std::to_string(value), "counter"});
+  }
+  for (const auto& [name, value] : gauges_) {
+    table.AddRow({name, TablePrinter::Num(value, 3), "gauge"});
+  }
+  return table.ToString();
+}
+
+MetricsRegistry& MetricsRegistry::Global() {
+  static MetricsRegistry registry;
+  return registry;
+}
+
+ScopedTimer::ScopedTimer(MetricsRegistry* registry, std::string name)
+    : registry_(registry), name_(std::move(name)), start_ns_(NowNs()) {}
+
+ScopedTimer::~ScopedTimer() {
+  if (registry_ != nullptr) {
+    registry_->SetGauge(name_, static_cast<double>(NowNs() - start_ns_));
+  }
+}
+
+}  // namespace lmp

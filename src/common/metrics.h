@@ -1,0 +1,62 @@
+// Metrics: a lightweight named counter/gauge registry.
+//
+// The runtime's components export operational counters (allocations,
+// migrations, coherence messages, recovery bytes) through a shared
+// registry so operators — and the example binaries — can dump one table
+// instead of spelunking component stats structs.  Counters are monotonic;
+// gauges are set-to-value.  Lookup is by name; creation is idempotent.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <string_view>
+
+#include "common/table.h"
+
+namespace lmp {
+
+class MetricsRegistry {
+ public:
+  MetricsRegistry() = default;
+
+  // Monotonic counter; created on first use.
+  void Increment(std::string_view name, std::uint64_t delta = 1);
+  // Point-in-time gauge; created on first use.
+  void SetGauge(std::string_view name, double value);
+
+  std::uint64_t Counter(std::string_view name) const;
+  double Gauge(std::string_view name) const;
+  bool Has(std::string_view name) const;
+  std::size_t size() const { return counters_.size() + gauges_.size(); }
+
+  void Reset();
+
+  // All metrics as an aligned table, sorted by name.
+  std::string Report() const;
+
+  // A process-wide registry for components without an injected one.
+  static MetricsRegistry& Global();
+
+ private:
+  std::map<std::string, std::uint64_t, std::less<>> counters_;
+  std::map<std::string, double, std::less<>> gauges_;
+};
+
+// Scoped timer that records elapsed wall nanoseconds into a gauge on
+// destruction (for coarse operator-facing timings, not benchmarks).
+class ScopedTimer {
+ public:
+  ScopedTimer(MetricsRegistry* registry, std::string name);
+  ~ScopedTimer();
+
+  ScopedTimer(const ScopedTimer&) = delete;
+  ScopedTimer& operator=(const ScopedTimer&) = delete;
+
+ private:
+  MetricsRegistry* registry_;
+  std::string name_;
+  std::uint64_t start_ns_;
+};
+
+}  // namespace lmp

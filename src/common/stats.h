@@ -1,0 +1,65 @@
+// Small statistics helpers: Welford running moments and a byte-rate meter.
+#pragma once
+
+#include <cmath>
+#include <cstdint>
+
+#include "common/units.h"
+
+namespace lmp {
+
+// Numerically stable running mean/variance (Welford).
+class RunningStats {
+ public:
+  void Add(double x) {
+    ++n_;
+    const double delta = x - mean_;
+    mean_ += delta / static_cast<double>(n_);
+    m2_ += delta * (x - mean_);
+    if (x < min_ || n_ == 1) min_ = x;
+    if (x > max_ || n_ == 1) max_ = x;
+  }
+
+  std::uint64_t count() const { return n_; }
+  double mean() const { return mean_; }
+  double variance() const {
+    return n_ < 2 ? 0.0 : m2_ / static_cast<double>(n_ - 1);
+  }
+  double stddev() const { return std::sqrt(variance()); }
+  double min() const { return n_ == 0 ? 0.0 : min_; }
+  double max() const { return n_ == 0 ? 0.0 : max_; }
+
+  void Reset() { *this = RunningStats(); }
+
+ private:
+  std::uint64_t n_ = 0;
+  double mean_ = 0.0;
+  double m2_ = 0.0;
+  double min_ = 0.0;
+  double max_ = 0.0;
+};
+
+// Accumulates bytes moved against simulated time; reports GB/s.
+class RateMeter {
+ public:
+  void Add(double bytes, SimTime start, SimTime end) {
+    bytes_ += bytes;
+    if (!started_ || start < first_) first_ = start;
+    if (!started_ || end > last_) last_ = end;
+    started_ = true;
+  }
+
+  double bytes() const { return bytes_; }
+  SimTime elapsed() const { return started_ ? last_ - first_ : 0.0; }
+  double gbps() const { return ToGBps(bytes_, elapsed()); }
+
+  void Reset() { *this = RateMeter(); }
+
+ private:
+  double bytes_ = 0.0;
+  SimTime first_ = 0.0;
+  SimTime last_ = 0.0;
+  bool started_ = false;
+};
+
+}  // namespace lmp

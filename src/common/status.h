@@ -1,0 +1,136 @@
+// Status / StatusOr<T>: lightweight error propagation for the LMP library.
+//
+// The runtime avoids exceptions on hot paths (allocation, translation,
+// migration); fallible operations return Status or StatusOr<T>.  The set of
+// codes is deliberately small and maps onto the failure classes the paper's
+// runtime must surface: capacity exhaustion (§4.5), addressing faults (§5),
+// and crashed hosts (§5 "Failure domains").
+#pragma once
+
+#include <cassert>
+#include <cstdint>
+#include <optional>
+#include <ostream>
+#include <string>
+#include <string_view>
+#include <utility>
+
+namespace lmp {
+
+enum class StatusCode : std::uint8_t {
+  kOk = 0,
+  kInvalidArgument,   // caller passed something malformed
+  kNotFound,          // no such segment / server / key
+  kAlreadyExists,     // duplicate registration
+  kOutOfMemory,       // capacity exhausted (the Figure-5 "infeasible" case)
+  kFailedPrecondition,// operation illegal in current state
+  kUnavailable,       // target server crashed / unreachable
+  kDataLoss,          // unrecoverable loss (insufficient replicas)
+  kInternal,          // invariant violation inside the runtime
+  kUnimplemented,
+};
+
+std::string_view StatusCodeName(StatusCode code);
+
+class [[nodiscard]] Status {
+ public:
+  Status() = default;  // OK
+  Status(StatusCode code, std::string message)
+      : code_(code), message_(std::move(message)) {}
+
+  static Status Ok() { return Status(); }
+
+  bool ok() const { return code_ == StatusCode::kOk; }
+  StatusCode code() const { return code_; }
+  const std::string& message() const { return message_; }
+
+  std::string ToString() const;
+
+  friend bool operator==(const Status& a, const Status& b) {
+    return a.code_ == b.code_;
+  }
+
+ private:
+  StatusCode code_ = StatusCode::kOk;
+  std::string message_;
+};
+
+inline std::ostream& operator<<(std::ostream& os, const Status& s) {
+  return os << s.ToString();
+}
+
+// Factory helpers, mirroring absl naming so call sites read naturally.
+Status InvalidArgumentError(std::string message);
+Status NotFoundError(std::string message);
+Status AlreadyExistsError(std::string message);
+Status OutOfMemoryError(std::string message);
+Status FailedPreconditionError(std::string message);
+Status UnavailableError(std::string message);
+Status DataLossError(std::string message);
+Status InternalError(std::string message);
+Status UnimplementedError(std::string message);
+
+bool IsOutOfMemory(const Status& s);
+bool IsNotFound(const Status& s);
+bool IsUnavailable(const Status& s);
+
+// StatusOr<T>: either an OK status with a value, or a non-OK status.
+template <typename T>
+class [[nodiscard]] StatusOr {
+ public:
+  StatusOr(Status status) : status_(std::move(status)) {  // NOLINT
+    assert(!status_.ok() && "OK StatusOr must carry a value");
+  }
+  StatusOr(T value) : value_(std::move(value)) {}  // NOLINT
+
+  bool ok() const { return status_.ok(); }
+  const Status& status() const { return status_; }
+
+  const T& value() const& {
+    assert(ok());
+    return *value_;
+  }
+  T& value() & {
+    assert(ok());
+    return *value_;
+  }
+  T&& value() && {
+    assert(ok());
+    return std::move(*value_);
+  }
+
+  const T& operator*() const& { return value(); }
+  T& operator*() & { return value(); }
+  const T* operator->() const { return &value(); }
+  T* operator->() { return &value(); }
+
+  T value_or(T fallback) const {
+    return ok() ? *value_ : std::move(fallback);
+  }
+
+ private:
+  Status status_;
+  std::optional<T> value_;
+};
+
+}  // namespace lmp
+
+// Propagate a non-OK Status from an expression.
+#define LMP_RETURN_IF_ERROR(expr)                  \
+  do {                                             \
+    ::lmp::Status lmp_status_ = (expr);            \
+    if (!lmp_status_.ok()) return lmp_status_;     \
+  } while (0)
+
+// Assign the value of a StatusOr expression or propagate its error.
+#define LMP_ASSIGN_OR_RETURN(lhs, expr)            \
+  LMP_ASSIGN_OR_RETURN_IMPL_(                      \
+      LMP_STATUS_CONCAT_(statusor_, __LINE__), lhs, expr)
+
+#define LMP_ASSIGN_OR_RETURN_IMPL_(tmp, lhs, expr) \
+  auto tmp = (expr);                               \
+  if (!tmp.ok()) return tmp.status();              \
+  lhs = std::move(tmp).value()
+
+#define LMP_STATUS_CONCAT_(a, b) LMP_STATUS_CONCAT_IMPL_(a, b)
+#define LMP_STATUS_CONCAT_IMPL_(a, b) a##b

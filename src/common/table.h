@@ -1,0 +1,29 @@
+// ASCII table printer: used by benches to print the paper's tables/figures
+// as aligned rows a reader can diff against the published numbers.
+#pragma once
+
+#include <string>
+#include <vector>
+
+namespace lmp {
+
+class TablePrinter {
+ public:
+  explicit TablePrinter(std::vector<std::string> header);
+
+  void AddRow(std::vector<std::string> row);
+
+  // Convenience: format doubles with the given precision.
+  static std::string Num(double v, int precision = 1);
+
+  // Render with column alignment and a header separator.
+  std::string ToString() const;
+
+  void Print() const;  // to stdout
+
+ private:
+  std::vector<std::string> header_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+}  // namespace lmp

@@ -1,0 +1,46 @@
+// Byte-size and simulated-time units used throughout the library.
+//
+// Simulated time is kept in double-precision nanoseconds (the fluid solver
+// needs fractional event times); byte quantities are unsigned 64-bit.
+// The paper quotes capacities in GB and bandwidth in GB/s; we follow its
+// convention that 1 GB = 2^30 bytes for capacities (DIMM sizes) and
+// 10^9 bytes/s for bandwidth, matching how Pond/UPI numbers are reported.
+#pragma once
+
+#include <cstdint>
+
+namespace lmp {
+
+using Bytes = std::uint64_t;
+
+inline constexpr Bytes kKiB = 1024ull;
+inline constexpr Bytes kMiB = 1024ull * kKiB;
+inline constexpr Bytes kGiB = 1024ull * kMiB;
+
+constexpr Bytes KiB(std::uint64_t n) { return n * kKiB; }
+constexpr Bytes MiB(std::uint64_t n) { return n * kMiB; }
+constexpr Bytes GiB(std::uint64_t n) { return n * kGiB; }
+
+// Simulated time in nanoseconds.
+using SimTime = double;
+inline constexpr SimTime kNsPerUs = 1e3;
+inline constexpr SimTime kNsPerMs = 1e6;
+inline constexpr SimTime kNsPerSec = 1e9;
+
+constexpr SimTime Nanoseconds(double n) { return n; }
+constexpr SimTime Microseconds(double n) { return n * kNsPerUs; }
+constexpr SimTime Milliseconds(double n) { return n * kNsPerMs; }
+constexpr SimTime Seconds(double n) { return n * kNsPerSec; }
+
+// Bandwidth in bytes per simulated second.
+using BytesPerSec = double;
+
+// Decimal giga, used for bandwidth figures (97 GB/s == 97e9 B/s).
+constexpr BytesPerSec GBps(double n) { return n * 1e9; }
+
+// Convert a byte count moved over a duration into GB/s (decimal).
+constexpr double ToGBps(double bytes, SimTime elapsed_ns) {
+  return elapsed_ns > 0 ? (bytes / elapsed_ns) : 0.0;  // B/ns == GB/s
+}
+
+}  // namespace lmp

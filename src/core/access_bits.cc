@@ -1,0 +1,68 @@
+#include "core/access_bits.h"
+
+#include "common/logging.h"
+
+namespace lmp::core {
+
+AccessBitSampler::AccessBitSampler(Bytes page_size) : page_size_(page_size) {
+  LMP_CHECK(page_size > 0);
+}
+
+void AccessBitSampler::OnAccess(SegmentId seg, cluster::ServerId server,
+                                Bytes offset, Bytes len) {
+  if (len == 0) return;
+  const std::uint64_t first = offset / page_size_;
+  const std::uint64_t last = (offset + len - 1) / page_size_;
+  auto& bitmap = bits_[Key{seg, server}];
+  if (bitmap.size() <= last) bitmap.resize(last + 1, false);
+  for (std::uint64_t p = first; p <= last; ++p) bitmap[p] = true;
+}
+
+std::vector<AccessBitSampler::ScanEntry> AccessBitSampler::ScanAndClear() {
+  std::vector<ScanEntry> entries;
+  last_scan_.clear();
+  for (auto& [key, bitmap] : bits_) {
+    std::uint64_t touched = 0;
+    for (std::vector<bool>::reference bit : bitmap) {
+      if (bit) {
+        ++touched;
+        bit = false;  // the "clear" half of scan-and-clear
+      }
+    }
+    if (touched > 0) {
+      entries.push_back(ScanEntry{key.segment, key.server, touched});
+      last_scan_[key] = touched;
+    }
+  }
+  ++scans_;
+  return entries;
+}
+
+double AccessBitSampler::EstimatedBytes(SegmentId seg,
+                                        cluster::ServerId server) const {
+  auto it = last_scan_.find(Key{seg, server});
+  if (it == last_scan_.end()) return 0;
+  return static_cast<double>(it->second) * static_cast<double>(page_size_);
+}
+
+bool AccessBitSampler::DominantAccessor(SegmentId seg, Dominant* out) const {
+  double total = 0, best = 0;
+  cluster::ServerId best_server = 0;
+  for (const auto& [key, touched] : last_scan_) {
+    if (key.segment != seg) continue;
+    const double bytes =
+        static_cast<double>(touched) * static_cast<double>(page_size_);
+    total += bytes;
+    if (bytes > best) {
+      best = bytes;
+      best_server = key.server;
+    }
+  }
+  if (total <= 0) return false;
+  out->server = best_server;
+  out->share = best / total;
+  out->bytes = best;
+  return true;
+}
+
+}  // namespace lmp::core

@@ -1,0 +1,160 @@
+#include "core/coherence.h"
+
+#include <bit>
+
+#include "common/logging.h"
+
+namespace lmp::core {
+
+CoherenceDirectory::CoherenceDirectory(Bytes region_size, Bytes granularity,
+                                       int num_hosts)
+    : region_size_(region_size),
+      granularity_(granularity),
+      num_hosts_(num_hosts) {
+  LMP_CHECK(granularity > 0 && region_size % granularity == 0)
+      << "granularity must divide region size";
+  LMP_CHECK(num_hosts > 0 && num_hosts <= 64);
+  blocks_.resize(region_size / granularity);
+}
+
+Status CoherenceDirectory::CheckRange(int host, Bytes offset,
+                                      Bytes len) const {
+  if (host < 0 || host >= num_hosts_) {
+    return InvalidArgumentError("bad host id");
+  }
+  if (len == 0) return InvalidArgumentError("zero-length access");
+  if (offset + len > region_size_) {
+    return InvalidArgumentError("access beyond coherent region");
+  }
+  return Status::Ok();
+}
+
+StatusOr<int> CoherenceDirectory::AcquireShared(int host, Bytes offset,
+                                                Bytes len) {
+  LMP_RETURN_IF_ERROR(CheckRange(host, offset, len));
+  ++stats_.shared_acquires;
+  const std::uint64_t mask = 1ull << host;
+  int messages = 0;
+  const Bytes first = offset / granularity_;
+  const Bytes last = (offset + len - 1) / granularity_;
+  for (Bytes b = first; b <= last; ++b) {
+    Block& blk = blocks_[b];
+    switch (blk.state) {
+      case BlockState::kModified:
+        if (blk.owner == host) {
+          ++stats_.hits;
+          break;  // owner reads its own dirty copy
+        }
+        // Downgrade the owner to Shared, fill the requester.
+        ++stats_.downgrade_msgs;
+        ++stats_.fills;
+        messages += 2;
+        blk.sharers = (1ull << blk.owner) | mask;
+        blk.owner = -1;
+        blk.state = BlockState::kShared;
+        break;
+      case BlockState::kShared:
+        if (blk.sharers & mask) {
+          ++stats_.hits;
+        } else {
+          ++stats_.fills;
+          ++messages;
+          blk.sharers |= mask;
+        }
+        break;
+      case BlockState::kInvalid:
+        ++stats_.fills;
+        ++messages;
+        blk.sharers = mask;
+        blk.state = BlockState::kShared;
+        break;
+    }
+  }
+  return messages;
+}
+
+StatusOr<int> CoherenceDirectory::AcquireExclusive(int host, Bytes offset,
+                                                   Bytes len) {
+  LMP_RETURN_IF_ERROR(CheckRange(host, offset, len));
+  ++stats_.exclusive_acquires;
+  const std::uint64_t mask = 1ull << host;
+  int messages = 0;
+  const Bytes first = offset / granularity_;
+  const Bytes last = (offset + len - 1) / granularity_;
+  for (Bytes b = first; b <= last; ++b) {
+    Block& blk = blocks_[b];
+    switch (blk.state) {
+      case BlockState::kModified:
+        if (blk.owner == host) {
+          ++stats_.hits;
+          break;
+        }
+        // Invalidate the current owner (with writeback) and fill.
+        ++stats_.invalidation_msgs;
+        ++stats_.fills;
+        messages += 2;
+        blk.owner = host;
+        blk.sharers = 0;
+        break;
+      case BlockState::kShared: {
+        // Invalidate every other sharer.
+        const std::uint64_t others = blk.sharers & ~mask;
+        const int count = std::popcount(others);
+        stats_.invalidation_msgs += count;
+        messages += count;
+        if (!(blk.sharers & mask)) {
+          ++stats_.fills;
+          ++messages;
+        } else {
+          ++stats_.hits;
+        }
+        blk.sharers = 0;
+        blk.owner = host;
+        blk.state = BlockState::kModified;
+        break;
+      }
+      case BlockState::kInvalid:
+        ++stats_.fills;
+        ++messages;
+        blk.owner = host;
+        blk.sharers = 0;
+        blk.state = BlockState::kModified;
+        break;
+    }
+  }
+  return messages;
+}
+
+void CoherenceDirectory::ReleaseHost(int host) {
+  const std::uint64_t mask = 1ull << host;
+  for (Block& blk : blocks_) {
+    if (blk.state == BlockState::kModified && blk.owner == host) {
+      ++stats_.downgrade_msgs;  // writeback
+      blk.state = BlockState::kInvalid;
+      blk.owner = -1;
+      blk.sharers = 0;
+    } else if (blk.state == BlockState::kShared && (blk.sharers & mask)) {
+      blk.sharers &= ~mask;
+      if (blk.sharers == 0) blk.state = BlockState::kInvalid;
+    }
+  }
+}
+
+BlockState CoherenceDirectory::StateOf(int host, Bytes offset) const {
+  const Block& blk = blocks_[offset / granularity_];
+  if (blk.state == BlockState::kModified) {
+    return blk.owner == host ? BlockState::kModified : BlockState::kInvalid;
+  }
+  if (blk.state == BlockState::kShared && (blk.sharers & (1ull << host))) {
+    return BlockState::kShared;
+  }
+  return BlockState::kInvalid;
+}
+
+int CoherenceDirectory::SharerCount(Bytes offset) const {
+  const Block& blk = blocks_[offset / granularity_];
+  if (blk.state == BlockState::kModified) return 1;
+  return std::popcount(blk.sharers);
+}
+
+}  // namespace lmp::core

@@ -1,0 +1,65 @@
+// Compute shipping (§4.4 "Near-memory Computing").
+//
+// Instead of pulling pool data across the fabric, an LMP can ship the
+// computation to the servers that host the data — every access becomes
+// local, using CPUs the servers already have (the paper's argument for why
+// logical pools get near-memory computing "for free" while physical pools
+// would need extra hardware in the box).
+//
+// ComputeShipper plans a buffer-range computation by home server and, when
+// backing stores exist, executes it: each sub-task reads only spans that
+// are local to its server.  The plan (per-server byte counts) is exactly
+// what the near-memory bench feeds the fluid simulator.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <span>
+#include <unordered_map>
+#include <vector>
+
+#include "common/status.h"
+#include "common/units.h"
+#include "core/pool_manager.h"
+
+namespace lmp::core {
+
+struct ShipPlan {
+  struct SubTask {
+    cluster::ServerId server = 0;
+    Bytes bytes = 0;  // all local to `server`
+    std::vector<std::pair<Bytes, Bytes>> ranges;  // (buffer offset, len)
+  };
+  std::vector<SubTask> subtasks;
+  Bytes total_bytes = 0;
+
+  // Bytes the requesting server would have pulled remotely without
+  // shipping (for the shipped-vs-pulled comparison).
+  Bytes remote_bytes_unshipped = 0;
+};
+
+class ComputeShipper {
+ public:
+  explicit ComputeShipper(PoolManager* manager);
+
+  // Splits [offset, offset+len) of `buffer` by home server.
+  StatusOr<ShipPlan> Plan(BufferId buffer, Bytes offset, Bytes len,
+                          cluster::ServerId requester) const;
+
+  // Functional map-reduce: `map` runs once per contiguous local chunk *at
+  // the owning server* (accesses are recorded as local in the hotness
+  // profile); results are summed.  Requires backing stores.
+  // Arguments: hosting server, the chunk's offset within the buffer, and
+  // the chunk bytes.  Chunks may arrive out of buffer order (grouped by
+  // hosting server) — use the offset, not arrival order, for positioning.
+  using MapFn = std::function<double(cluster::ServerId host,
+                                     Bytes buffer_offset,
+                                     std::span<const std::byte> chunk)>;
+  StatusOr<double> ShipAndReduce(BufferId buffer, Bytes offset, Bytes len,
+                                 const MapFn& map, SimTime now = 0) const;
+
+ private:
+  PoolManager* manager_;
+};
+
+}  // namespace lmp::core

@@ -1,0 +1,70 @@
+// XOR erasure coding — the lower-overhead alternative to replication for
+// failure masking (§5 "Failure domains"; the paper cites Carbink's
+// erasure-coded far memory).
+//
+// Segments are grouped k-at-a-time; each group gets one parity segment,
+// XOR of the members, placed on a server hosting none of them.  Capacity
+// overhead is 1/k instead of replication's 1x, at the cost of a
+// reconstruction read of k-1 members + parity on failure.  A group
+// tolerates one member (or parity) loss.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "common/status.h"
+#include "core/pool_manager.h"
+
+namespace lmp::core {
+
+class XorErasureManager {
+ public:
+  // group_size = k data segments per parity segment (k >= 2).
+  XorErasureManager(PoolManager* manager, int group_size = 3);
+
+  // Groups the buffer's segments and materialises parity.  Requires the
+  // segments in one group to have equal sizes (the allocator's placement
+  // chunks generally differ, so callers protect per-buffer stripes; groups
+  // are padded conceptually by treating the XOR over the common prefix —
+  // we require equal sizes and report kInvalidArgument otherwise for
+  // simplicity and test determinism).
+  Status ProtectSegments(const std::vector<SegmentId>& segments);
+
+  // Reconstructs a lost segment from its surviving group members, homing it
+  // on a live server with capacity.  The logical address is preserved and
+  // the segment returns to kActive.
+  Status RecoverSegment(SegmentId seg);
+
+  // Recovers every lost protected segment; returns how many were rebuilt.
+  StatusOr<int> RecoverAllLost();
+
+  double CapacityOverhead() const {
+    return 1.0 + 1.0 / static_cast<double>(group_size_);
+  }
+  int group_size() const { return group_size_; }
+
+ private:
+  struct Group {
+    std::vector<SegmentId> members;
+    SegmentId parity = kInvalidSegment;  // parity segment id
+    Bytes size = 0;
+  };
+
+  // Strict placement avoids every server hosting a group member or the
+  // parity.  During recovery on small clusters no such server may exist;
+  // `allow_parity_colocation` then permits sharing a server with the
+  // parity (members never co-locate — that would make one crash a double
+  // loss).  The resulting group is still readable but only single-fault
+  // tolerant until rebalanced.
+  StatusOr<cluster::ServerId> PickHost(const Group& group, Bytes size,
+                                       bool allow_parity_colocation) const;
+  Status XorInto(std::vector<std::byte>& acc, SegmentId seg);
+  const Group* GroupOf(SegmentId seg) const;
+
+  PoolManager* manager_;
+  int group_size_;
+  std::vector<Group> groups_;
+  SegmentId next_parity_id_ = (1u << 23);  // high id space for parity
+};
+
+}  // namespace lmp::core

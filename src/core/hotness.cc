@@ -1,0 +1,55 @@
+#include "core/hotness.h"
+
+namespace lmp::core {
+
+void AccessTracker::RecordAccess(SegmentId seg, cluster::ServerId from,
+                                 double bytes, SimTime now) {
+  Counter& c = table_[seg][from];
+  c.bytes = Decayed(c, now) + bytes;
+  c.updated = now;
+}
+
+double AccessTracker::AccessedBytes(SegmentId seg, cluster::ServerId from,
+                                    SimTime now) const {
+  auto seg_it = table_.find(seg);
+  if (seg_it == table_.end()) return 0;
+  auto it = seg_it->second.find(from);
+  if (it == seg_it->second.end()) return 0;
+  return Decayed(it->second, now);
+}
+
+double AccessTracker::TotalBytes(SegmentId seg, SimTime now) const {
+  auto seg_it = table_.find(seg);
+  if (seg_it == table_.end()) return 0;
+  double total = 0;
+  for (const auto& [server, counter] : seg_it->second) {
+    total += Decayed(counter, now);
+  }
+  return total;
+}
+
+bool AccessTracker::Dominant(SegmentId seg, SimTime now,
+                             DominantAccessor* out) const {
+  auto seg_it = table_.find(seg);
+  if (seg_it == table_.end()) return false;
+  double total = 0;
+  double best = 0;
+  cluster::ServerId best_server = 0;
+  for (const auto& [server, counter] : seg_it->second) {
+    const double b = Decayed(counter, now);
+    total += b;
+    if (b > best) {
+      best = b;
+      best_server = server;
+    }
+  }
+  if (total <= 0) return false;
+  out->server = best_server;
+  out->share = best / total;
+  out->bytes = best;
+  return true;
+}
+
+void AccessTracker::Forget(SegmentId seg) { table_.erase(seg); }
+
+}  // namespace lmp::core

@@ -1,0 +1,75 @@
+// Access-hotness tracking (§5 "Locality balancing").
+//
+// The paper notes NUMA-style page-fault sampling is too slow for an LMP and
+// proposes profiling accesses with performance counters / access bits.  We
+// model that profile: per (segment, accessing-server) byte counters with
+// exponential decay, so the migration policy sees *recent* traffic.  The
+// decay is applied lazily on read using a configurable half-life in
+// simulated time.
+#pragma once
+
+#include <cmath>
+#include <cstdint>
+#include <unordered_map>
+#include <vector>
+
+#include "cluster/server.h"
+#include "common/units.h"
+#include "core/logical_address.h"
+
+namespace lmp::core {
+
+class AccessTracker {
+ public:
+  explicit AccessTracker(SimTime half_life = Milliseconds(100))
+      : half_life_(half_life) {}
+
+  // The decay half-life should be a few times the workload's reuse
+  // interval; experiments tune it to their epoch length.
+  void set_half_life(SimTime half_life) { half_life_ = half_life; }
+  SimTime half_life() const { return half_life_; }
+
+  void RecordAccess(SegmentId seg, cluster::ServerId from, double bytes,
+                    SimTime now);
+
+  // Decayed bytes accessed by `from` on `seg`, as of `now`.
+  double AccessedBytes(SegmentId seg, cluster::ServerId from,
+                       SimTime now) const;
+
+  // Total decayed bytes on `seg` across all servers.
+  double TotalBytes(SegmentId seg, SimTime now) const;
+
+  // The server with the highest decayed traffic on `seg`, and its share of
+  // the total.  Returns false if the segment has no recorded traffic.
+  struct DominantAccessor {
+    cluster::ServerId server = 0;
+    double share = 0.0;   // fraction of total traffic
+    double bytes = 0.0;
+  };
+  bool Dominant(SegmentId seg, SimTime now, DominantAccessor* out) const;
+
+  void Forget(SegmentId seg);
+  void Clear() { table_.clear(); }
+
+  std::size_t tracked_segments() const { return table_.size(); }
+
+ private:
+  struct Counter {
+    double bytes = 0;
+    SimTime updated = 0;
+  };
+
+  double Decayed(const Counter& c, SimTime now) const {
+    if (c.bytes == 0) return 0;
+    const SimTime dt = now - c.updated;
+    if (dt <= 0) return c.bytes;
+    return c.bytes * std::exp2(-dt / half_life_);
+  }
+
+  SimTime half_life_;
+  std::unordered_map<SegmentId,
+                     std::unordered_map<cluster::ServerId, Counter>>
+      table_;
+};
+
+}  // namespace lmp::core

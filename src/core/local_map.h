@@ -1,0 +1,58 @@
+// LocalFrameMap — translation step 2 (§5 "Address translation").
+//
+// Per-server fine-grained map from (segment, offset) to physical frames in
+// that server's shared region.  Only the owning server consults it, so it
+// can be as fine-grained as needed without any remote traffic — the core of
+// the paper's two-step translation argument.
+#pragma once
+
+#include <cstdint>
+#include <unordered_map>
+#include <vector>
+
+#include "common/status.h"
+#include "common/units.h"
+#include "core/logical_address.h"
+#include "mem/frame_allocator.h"
+
+namespace lmp::core {
+
+struct PhysicalExtent {
+  mem::FrameNumber frame = 0;  // first frame
+  Bytes offset_in_frame = 0;
+  Bytes length = 0;
+};
+
+class LocalFrameMap {
+ public:
+  explicit LocalFrameMap(Bytes frame_size) : frame_size_(frame_size) {}
+
+  // Binds a segment to frame runs (in order).  The runs must cover `size`.
+  Status Bind(SegmentId id, Bytes size, std::vector<mem::FrameRun> runs);
+
+  Status Unbind(SegmentId id);
+
+  bool Contains(SegmentId id) const { return map_.contains(id); }
+
+  // Step-2 resolution: the physical extents covering [offset, offset+len).
+  // Extents never span frame-run boundaries.
+  StatusOr<std::vector<PhysicalExtent>> Resolve(SegmentId id, Bytes offset,
+                                                Bytes len) const;
+
+  // Frame runs backing a segment (migration source / free on unbind).
+  StatusOr<std::vector<mem::FrameRun>> RunsOf(SegmentId id) const;
+
+  Bytes frame_size() const { return frame_size_; }
+  std::size_t segment_count() const { return map_.size(); }
+
+ private:
+  struct Binding {
+    Bytes size = 0;
+    std::vector<mem::FrameRun> runs;
+  };
+
+  Bytes frame_size_;
+  std::unordered_map<SegmentId, Binding> map_;
+};
+
+}  // namespace lmp::core

@@ -1,0 +1,77 @@
+// Logical addresses: the pool-global address space (§3.2, §5).
+//
+// A logical address names a byte in the pool independently of which server
+// currently hosts it, so buffers can migrate without invalidating pointers
+// held by other servers ("migrating a buffer should not invalidate its
+// address").  The 64-bit space is split segment/offset:
+//
+//    63            40 39                      0
+//   +----------------+-------------------------+
+//   |  segment id    |   offset within segment |
+//   +----------------+-------------------------+
+//
+// 2^24 segments of up to 1 TiB each — comfortably covers the paper's
+// "10–100 TB of shared memory" vision.  The segment is the unit of
+// placement, migration, and replication; translation step 1 maps segment →
+// server via a coarse, globally replicated map, and step 2 resolves the
+// offset to frames inside the owning server.
+#pragma once
+
+#include <compare>
+#include <cstdint>
+#include <functional>
+#include <string>
+
+namespace lmp::core {
+
+using SegmentId = std::uint32_t;
+
+inline constexpr int kOffsetBits = 40;
+inline constexpr std::uint64_t kMaxSegmentSize = 1ull << kOffsetBits;
+inline constexpr SegmentId kMaxSegmentId = (1u << 24) - 1;
+inline constexpr SegmentId kInvalidSegment = kMaxSegmentId;
+
+class LogicalAddress {
+ public:
+  constexpr LogicalAddress() = default;
+  constexpr LogicalAddress(SegmentId segment, std::uint64_t offset)
+      : raw_((static_cast<std::uint64_t>(segment) << kOffsetBits) |
+             (offset & (kMaxSegmentSize - 1))) {}
+
+  static constexpr LogicalAddress FromRaw(std::uint64_t raw) {
+    LogicalAddress a;
+    a.raw_ = raw;
+    return a;
+  }
+
+  constexpr SegmentId segment() const {
+    return static_cast<SegmentId>(raw_ >> kOffsetBits);
+  }
+  constexpr std::uint64_t offset() const {
+    return raw_ & (kMaxSegmentSize - 1);
+  }
+  constexpr std::uint64_t raw() const { return raw_; }
+
+  constexpr LogicalAddress operator+(std::uint64_t delta) const {
+    return LogicalAddress(segment(), offset() + delta);
+  }
+
+  friend constexpr auto operator<=>(LogicalAddress a, LogicalAddress b) =
+      default;
+
+  std::string ToString() const {
+    return "seg" + std::to_string(segment()) + "+" + std::to_string(offset());
+  }
+
+ private:
+  std::uint64_t raw_ = ~0ull;
+};
+
+}  // namespace lmp::core
+
+template <>
+struct std::hash<lmp::core::LogicalAddress> {
+  std::size_t operator()(lmp::core::LogicalAddress a) const noexcept {
+    return std::hash<std::uint64_t>{}(a.raw());
+  }
+};

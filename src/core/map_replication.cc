@@ -1,0 +1,111 @@
+#include "core/map_replication.h"
+
+#include "common/logging.h"
+
+namespace lmp::core {
+
+Status MapAuthority::Insert(const SegmentInfo& info) {
+  LMP_RETURN_IF_ERROR(map_.Insert(info));
+  MapDelta delta;
+  delta.kind = MapDelta::Kind::kInsert;
+  delta.segment = info.id;
+  delta.size = info.size;
+  delta.home = info.home;
+  delta.generation = info.generation;
+  delta.sequence = next_sequence_++;
+  log_.push_back(delta);
+  return Status::Ok();
+}
+
+Status MapAuthority::Rehome(SegmentId segment, Location new_home) {
+  LMP_RETURN_IF_ERROR(map_.UpdateHome(segment, new_home));
+  MapDelta delta;
+  delta.kind = MapDelta::Kind::kRehome;
+  delta.segment = segment;
+  delta.home = new_home;
+  delta.generation = map_.Find(segment)->generation;
+  delta.sequence = next_sequence_++;
+  log_.push_back(delta);
+  return Status::Ok();
+}
+
+Status MapAuthority::Remove(SegmentId segment) {
+  LMP_RETURN_IF_ERROR(map_.Remove(segment));
+  MapDelta delta;
+  delta.kind = MapDelta::Kind::kRemove;
+  delta.segment = segment;
+  delta.sequence = next_sequence_++;
+  log_.push_back(delta);
+  return Status::Ok();
+}
+
+std::vector<MapDelta> MapAuthority::DeltasSince(std::uint64_t from) const {
+  std::vector<MapDelta> out;
+  if (from >= next_sequence_) return out;
+  out.assign(log_.begin() + static_cast<std::ptrdiff_t>(from), log_.end());
+  return out;
+}
+
+Bytes MapAuthority::SyncCost(std::uint64_t from) const {
+  const std::uint64_t missing =
+      from >= next_sequence_ ? 0 : next_sequence_ - from;
+  return missing * MapDelta::kWireBytes;
+}
+
+MapReplica::MapReplica(const MapAuthority* authority)
+    : authority_(authority) {
+  LMP_CHECK(authority != nullptr);
+}
+
+StatusOr<int> MapReplica::Sync() {
+  const auto deltas = authority_->DeltasSince(applied_);
+  for (const MapDelta& delta : deltas) {
+    switch (delta.kind) {
+      case MapDelta::Kind::kInsert: {
+        SegmentInfo info;
+        info.id = delta.segment;
+        info.size = delta.size;
+        info.home = delta.home;
+        info.generation = delta.generation;
+        LMP_RETURN_IF_ERROR(map_.Insert(info));
+        break;
+      }
+      case MapDelta::Kind::kRehome: {
+        LMP_RETURN_IF_ERROR(map_.UpdateHome(delta.segment, delta.home));
+        // Adopt the authority's generation exactly (UpdateHome bumped it
+        // by one, which matches a single step; multi-step gaps are set
+        // explicitly to stay convergent).
+        SegmentInfo* info = map_.FindMutable(delta.segment);
+        LMP_CHECK(info != nullptr);
+        info->generation = delta.generation;
+        break;
+      }
+      case MapDelta::Kind::kRemove:
+        LMP_RETURN_IF_ERROR(map_.Remove(delta.segment));
+        break;
+    }
+    applied_ = delta.sequence + 1;
+  }
+  return static_cast<int>(deltas.size());
+}
+
+StatusOr<Location> MapReplica::Lookup(SegmentId segment) const {
+  return map_.Lookup(segment);
+}
+
+const SegmentInfo* MapReplica::Find(SegmentId segment) const {
+  return map_.Find(segment);
+}
+
+bool MapReplica::IsCurrent() const {
+  return applied_ == authority_->log_head();
+}
+
+bool MapReplica::Validate(SegmentId segment, std::uint64_t generation) {
+  const SegmentInfo* truth = authority_->map().Find(segment);
+  if (truth != nullptr && truth->generation == generation) return true;
+  ++stale_lookups_;
+  return false;
+}
+
+}  // namespace lmp::core

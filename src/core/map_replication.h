@@ -1,0 +1,92 @@
+// ReplicatedSegmentMap: the distributed realization of translation step 1.
+//
+// §5's two-step design assumes every server holds a copy of the coarse
+// segment→server map, so step-1 lookups never cross the fabric.  That
+// only works if the copies are cheap to keep in sync; this module makes
+// the synchronization explicit: one authority publishes a DELTA LOG of
+// map changes (insert / re-home / remove), and each server's replica
+// applies deltas when it syncs.  Between syncs a replica may be stale —
+// exactly the staleness the generation-validated translation cache
+// already tolerates: a lookup that lands on the old home is detected by
+// generation mismatch and retried after a sync.
+//
+// The delta log is the control-plane traffic an LMP would actually put on
+// the wire: a handful of bytes per migration, instead of per-access
+// directory lookups (the flat-directory design §5 rejects).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "common/status.h"
+#include "core/segment_map.h"
+
+namespace lmp::core {
+
+struct MapDelta {
+  enum class Kind : std::uint8_t { kInsert, kRehome, kRemove };
+  Kind kind = Kind::kInsert;
+  SegmentId segment = kInvalidSegment;
+  Bytes size = 0;          // kInsert
+  Location home;           // kInsert / kRehome
+  std::uint64_t generation = 0;
+  std::uint64_t sequence = 0;  // position in the authority's log
+
+  // Wire size of one delta (fixed-width encoding).
+  static constexpr Bytes kWireBytes = 24;
+};
+
+// The authoritative map plus its published delta log.
+class MapAuthority {
+ public:
+  MapAuthority() = default;
+
+  Status Insert(const SegmentInfo& info);
+  Status Rehome(SegmentId segment, Location new_home);
+  Status Remove(SegmentId segment);
+
+  const SegmentMap& map() const { return map_; }
+  std::uint64_t log_head() const { return next_sequence_; }
+
+  // Deltas with sequence >= `from` (what a replica at `from` is missing).
+  std::vector<MapDelta> DeltasSince(std::uint64_t from) const;
+
+  // Control-plane bytes a replica at `from` must transfer to catch up.
+  Bytes SyncCost(std::uint64_t from) const;
+
+ private:
+  SegmentMap map_;
+  std::vector<MapDelta> log_;
+  std::uint64_t next_sequence_ = 0;
+};
+
+// One server's replica: applies deltas in order; detects staleness.
+class MapReplica {
+ public:
+  explicit MapReplica(const MapAuthority* authority);
+
+  // Pulls and applies all outstanding deltas; returns how many applied.
+  StatusOr<int> Sync();
+
+  // Local step-1 lookup against the (possibly stale) replica.
+  StatusOr<Location> Lookup(SegmentId segment) const;
+  const SegmentInfo* Find(SegmentId segment) const;
+
+  // True when the replica has seen every published delta.
+  bool IsCurrent() const;
+  std::uint64_t applied_sequence() const { return applied_; }
+  std::uint64_t stale_lookups() const { return stale_lookups_; }
+
+  // Validates a previous lookup: true iff the generation still matches
+  // the authority (what a failed remote access would reveal).  A false
+  // result counts a stale lookup; the caller should Sync() and retry.
+  bool Validate(SegmentId segment, std::uint64_t generation);
+
+ private:
+  const MapAuthority* authority_;
+  SegmentMap map_;
+  std::uint64_t applied_ = 0;
+  std::uint64_t stale_lookups_ = 0;
+};
+
+}  // namespace lmp::core

@@ -1,0 +1,59 @@
+#include "core/migration.h"
+
+#include <algorithm>
+
+#include "common/logging.h"
+
+namespace lmp::core {
+
+MigrationEngine::MigrationEngine(PoolManager* manager, MigrationConfig config)
+    : manager_(manager), config_(config) {
+  LMP_CHECK(manager != nullptr);
+}
+
+MigrationRoundStats MigrationEngine::RunOnce(
+    SimTime now, std::vector<MigrationRecord>* records) {
+  MigrationRoundStats stats;
+
+  struct Candidate {
+    SegmentId seg;
+    cluster::ServerId dst;
+    double score;  // projected traffic converted to local, net of copy cost
+  };
+  std::vector<Candidate> candidates;
+
+  const AccessTracker& tracker = manager_->access_tracker();
+  manager_->segment_map().ForEach([&](const SegmentInfo& info) {
+    if (info.state != SegmentState::kActive) return;
+    AccessTracker::DominantAccessor dom;
+    if (!tracker.Dominant(info.id, now, &dom)) return;
+    if (dom.share < config_.dominance_threshold) return;
+    // Already local to the dominant accessor?
+    if (!info.home.is_pool() && info.home.server == dom.server) return;
+    const double copy_cost = static_cast<double>(info.size);
+    if (dom.bytes < config_.benefit_factor * copy_cost) return;
+    candidates.push_back(Candidate{info.id, dom.server,
+                                   dom.bytes - copy_cost});
+  });
+
+  stats.candidates = static_cast<int>(candidates.size());
+  std::sort(candidates.begin(), candidates.end(),
+            [](const Candidate& a, const Candidate& b) {
+              return a.score > b.score;
+            });
+
+  for (const Candidate& c : candidates) {
+    if (stats.migrated >= config_.max_migrations_per_round) break;
+    auto rec_or = manager_->MigrateSegment(c.seg, c.dst);
+    if (!rec_or.ok()) {
+      if (IsOutOfMemory(rec_or.status())) ++stats.skipped_capacity;
+      continue;
+    }
+    ++stats.migrated;
+    stats.bytes_moved += rec_or->bytes;
+    if (records != nullptr) records->push_back(rec_or.value());
+  }
+  return stats;
+}
+
+}  // namespace lmp::core

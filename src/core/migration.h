@@ -1,0 +1,54 @@
+// MigrationEngine — locality balancing (§5).
+//
+// The paper's challenge: NUMA balancing unmaps pages to sample accesses,
+// which is too slow for an LMP; instead accesses are profiled (our
+// AccessTracker stands in for performance counters / access bits) and a
+// policy periodically migrates hot remote segments toward their dominant
+// accessor.  Migration is worthwhile when the recent remote traffic a move
+// would convert to local traffic exceeds the one-time copy cost by a
+// configurable factor.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "common/units.h"
+#include "core/pool_manager.h"
+
+namespace lmp::core {
+
+struct MigrationConfig {
+  // A segment is a candidate only when one server generates at least this
+  // share of its recent traffic...
+  double dominance_threshold = 0.55;
+  // ...and that traffic (decayed bytes) exceeds the copy cost by this
+  // factor.  >1 means "the move pays for itself within one half-life".
+  double benefit_factor = 1.0;
+  // Cap per balancing round, so one round cannot saturate the fabric.
+  int max_migrations_per_round = 8;
+};
+
+struct MigrationRoundStats {
+  int candidates = 0;
+  int migrated = 0;
+  int skipped_capacity = 0;
+  Bytes bytes_moved = 0;
+};
+
+class MigrationEngine {
+ public:
+  MigrationEngine(PoolManager* manager, MigrationConfig config = {});
+
+  // One balancing round at simulated time `now`.  Appends executed
+  // migrations to `records` (optional) and returns round statistics.
+  MigrationRoundStats RunOnce(SimTime now,
+                              std::vector<MigrationRecord>* records = nullptr);
+
+  const MigrationConfig& config() const { return config_; }
+
+ private:
+  PoolManager* manager_;
+  MigrationConfig config_;
+};
+
+}  // namespace lmp::core

@@ -1,0 +1,171 @@
+#include "core/placement.h"
+
+#include <algorithm>
+#include <numeric>
+
+#include "common/logging.h"
+
+namespace lmp::core {
+namespace {
+
+struct Candidate {
+  cluster::ServerId server;
+  Bytes free;
+};
+
+std::vector<Candidate> LiveCandidates(const cluster::Cluster& cluster) {
+  std::vector<Candidate> out;
+  for (int s = 0; s < cluster.num_servers(); ++s) {
+    const auto& srv = cluster.server(static_cast<cluster::ServerId>(s));
+    if (srv.crashed()) continue;
+    out.push_back(Candidate{srv.id(), srv.shared_allocator().free_bytes()});
+  }
+  return out;
+}
+
+Bytes TotalFree(const std::vector<Candidate>& cands) {
+  return std::accumulate(cands.begin(), cands.end(), Bytes{0},
+                         [](Bytes acc, const Candidate& c) {
+                           return acc + c.free;
+                         });
+}
+
+Status CapacityError(Bytes want, Bytes have) {
+  return OutOfMemoryError("pool cannot hold allocation: need " +
+                          std::to_string(want / kMiB) + " MiB, free " +
+                          std::to_string(have / kMiB) + " MiB");
+}
+
+}  // namespace
+
+StatusOr<std::vector<PlacementChunk>> LocalFirstPlacement::Place(
+    const cluster::Cluster& cluster, Bytes bytes,
+    std::optional<cluster::ServerId> preferred) {
+  std::vector<Candidate> cands = LiveCandidates(cluster);
+  if (cands.empty()) return UnavailableError("no live servers");
+  if (bytes > TotalFree(cands)) return CapacityError(bytes, TotalFree(cands));
+
+  // Preferred server first, then peers with the most free space.
+  std::stable_sort(cands.begin(), cands.end(),
+                   [&](const Candidate& a, const Candidate& b) {
+                     const bool ap = preferred && a.server == *preferred;
+                     const bool bp = preferred && b.server == *preferred;
+                     if (ap != bp) return ap;
+                     return a.free > b.free;
+                   });
+
+  std::vector<PlacementChunk> chunks;
+  Bytes remaining = bytes;
+  for (const Candidate& c : cands) {
+    if (remaining == 0) break;
+    const Bytes take = std::min(remaining, c.free);
+    if (take == 0) continue;
+    chunks.push_back(PlacementChunk{c.server, take});
+    remaining -= take;
+  }
+  LMP_CHECK(remaining == 0);
+  return chunks;
+}
+
+StatusOr<std::vector<PlacementChunk>> RoundRobinPlacement::Place(
+    const cluster::Cluster& cluster, Bytes bytes,
+    std::optional<cluster::ServerId> /*preferred*/) {
+  std::vector<Candidate> cands = LiveCandidates(cluster);
+  if (cands.empty()) return UnavailableError("no live servers");
+  if (bytes > TotalFree(cands)) return CapacityError(bytes, TotalFree(cands));
+
+  // Accumulate per-server byte counts by dealing stripes in rotation,
+  // skipping full servers.
+  std::vector<Bytes> assigned(cands.size(), 0);
+  Bytes remaining = bytes;
+  std::size_t idx = cursor_ % cands.size();
+  std::size_t stuck = 0;
+  while (remaining > 0) {
+    Candidate& c = cands[idx];
+    const Bytes room = c.free - assigned[idx];
+    const Bytes take = std::min({stripe_bytes_, remaining, room});
+    if (take > 0) {
+      assigned[idx] += take;
+      remaining -= take;
+      stuck = 0;
+    } else if (++stuck >= cands.size()) {
+      return InternalError("round-robin failed despite free capacity");
+    }
+    idx = (idx + 1) % cands.size();
+  }
+  cursor_ = static_cast<std::uint32_t>(idx);
+
+  std::vector<PlacementChunk> chunks;
+  for (std::size_t i = 0; i < cands.size(); ++i) {
+    if (assigned[i] > 0) {
+      chunks.push_back(PlacementChunk{cands[i].server, assigned[i]});
+    }
+  }
+  return chunks;
+}
+
+StatusOr<std::vector<PlacementChunk>> CapacityWeightedPlacement::Place(
+    const cluster::Cluster& cluster, Bytes bytes,
+    std::optional<cluster::ServerId> /*preferred*/) {
+  std::vector<Candidate> cands = LiveCandidates(cluster);
+  if (cands.empty()) return UnavailableError("no live servers");
+  const Bytes total_free = TotalFree(cands);
+  if (bytes > total_free) return CapacityError(bytes, total_free);
+
+  std::vector<PlacementChunk> chunks;
+  Bytes remaining = bytes;
+  for (std::size_t i = 0; i < cands.size(); ++i) {
+    if (remaining == 0) break;
+    Bytes take;
+    if (i + 1 == cands.size()) {
+      take = remaining;  // absorb rounding in the last chunk
+    } else {
+      take = static_cast<Bytes>(static_cast<double>(bytes) *
+                                static_cast<double>(cands[i].free) /
+                                static_cast<double>(total_free));
+      take = std::min({take, cands[i].free, remaining});
+    }
+    if (take > cands[i].free) {
+      return InternalError("capacity-weighted overshoot");
+    }
+    if (take > 0) {
+      chunks.push_back(PlacementChunk{cands[i].server, take});
+      remaining -= take;
+    }
+  }
+  if (remaining > 0) {
+    // Rounding left a residue; greedily top up.
+    for (std::size_t i = 0; i < cands.size() && remaining > 0; ++i) {
+      Bytes used = 0;
+      for (const auto& ch : chunks) {
+        if (ch.server == cands[i].server) used = ch.bytes;
+      }
+      const Bytes room = cands[i].free - used;
+      const Bytes take = std::min(room, remaining);
+      if (take == 0) continue;
+      bool found = false;
+      for (auto& ch : chunks) {
+        if (ch.server == cands[i].server) {
+          ch.bytes += take;
+          found = true;
+          break;
+        }
+      }
+      if (!found) chunks.push_back(PlacementChunk{cands[i].server, take});
+      remaining -= take;
+    }
+  }
+  LMP_CHECK(remaining == 0);
+  return chunks;
+}
+
+std::unique_ptr<PlacementPolicy> MakePlacementPolicy(std::string_view name) {
+  if (name == "local-first") return std::make_unique<LocalFirstPlacement>();
+  if (name == "round-robin") return std::make_unique<RoundRobinPlacement>();
+  if (name == "capacity-weighted") {
+    return std::make_unique<CapacityWeightedPlacement>();
+  }
+  return nullptr;
+}
+
+}  // namespace lmp::core

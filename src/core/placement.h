@@ -1,0 +1,77 @@
+// Placement policies: where newly allocated pool memory lands (§1's "data
+// placement" mechanism — the first of the paper's three locality tools,
+// alongside migration and compute shipping).
+//
+// A policy splits an allocation into per-server chunks.  LocalFirst is the
+// paper's implicit default (it produces the 8/24/64/96 GB layouts of §4.3–
+// §4.5: fill the requesting server's shared region, then spill to the
+// emptiest peers).  RoundRobin and CapacityWeighted are the comparison
+// points for the placement ablation.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <optional>
+#include <string_view>
+#include <vector>
+
+#include "cluster/cluster.h"
+#include "common/status.h"
+#include "common/units.h"
+
+namespace lmp::core {
+
+struct PlacementChunk {
+  cluster::ServerId server = 0;
+  Bytes bytes = 0;
+};
+
+class PlacementPolicy {
+ public:
+  virtual ~PlacementPolicy() = default;
+  virtual std::string_view name() const = 0;
+
+  // Splits `bytes` across live servers' free shared capacity.  Fails with
+  // kOutOfMemory when the pool cannot hold the allocation (Figure 5's
+  // infeasibility case).  Chunks are returned in placement-priority order.
+  virtual StatusOr<std::vector<PlacementChunk>> Place(
+      const cluster::Cluster& cluster, Bytes bytes,
+      std::optional<cluster::ServerId> preferred) = 0;
+};
+
+// Fill the preferred server first, then peers in descending free capacity.
+class LocalFirstPlacement : public PlacementPolicy {
+ public:
+  std::string_view name() const override { return "local-first"; }
+  StatusOr<std::vector<PlacementChunk>> Place(
+      const cluster::Cluster& cluster, Bytes bytes,
+      std::optional<cluster::ServerId> preferred) override;
+};
+
+// Stripe chunks of `stripe_bytes` across servers in rotation.
+class RoundRobinPlacement : public PlacementPolicy {
+ public:
+  explicit RoundRobinPlacement(Bytes stripe_bytes = GiB(1))
+      : stripe_bytes_(stripe_bytes) {}
+  std::string_view name() const override { return "round-robin"; }
+  StatusOr<std::vector<PlacementChunk>> Place(
+      const cluster::Cluster& cluster, Bytes bytes,
+      std::optional<cluster::ServerId> preferred) override;
+
+ private:
+  Bytes stripe_bytes_;
+  std::uint32_t cursor_ = 0;
+};
+
+// Split proportionally to each server's free shared capacity.
+class CapacityWeightedPlacement : public PlacementPolicy {
+ public:
+  std::string_view name() const override { return "capacity-weighted"; }
+  StatusOr<std::vector<PlacementChunk>> Place(
+      const cluster::Cluster& cluster, Bytes bytes,
+      std::optional<cluster::ServerId> preferred) override;
+};
+
+std::unique_ptr<PlacementPolicy> MakePlacementPolicy(std::string_view name);
+
+}  // namespace lmp::core

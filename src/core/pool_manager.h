@@ -1,0 +1,215 @@
+// PoolManager: the LMP runtime's allocation and data plane.
+//
+// Owns the global SegmentMap, the per-location fine-grained frame maps, and
+// the hotness profile.  Allocations are split into segments by a placement
+// policy; reads and writes resolve through the two-step translation path
+// and (when the cluster has backing stores) move real bytes.  Migration
+// re-homes a segment without changing its logical address — the property
+// §5 calls out as the point of the addressing scheme.
+//
+// Buffers: an application allocation may span several segments (one per
+// placement chunk).  A Buffer is an ordered list of segments; buffer
+// offsets resolve to (segment, offset) pairs by prefix sums.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <optional>
+#include <span>
+#include <unordered_map>
+#include <vector>
+
+#include "cluster/cluster.h"
+#include "common/metrics.h"
+#include "common/status.h"
+#include "common/units.h"
+#include "core/hotness.h"
+#include "core/local_map.h"
+#include "core/logical_address.h"
+#include "core/placement.h"
+#include "core/segment.h"
+#include "core/segment_map.h"
+#include "core/translation.h"
+
+namespace lmp::core {
+
+using BufferId = std::uint64_t;
+inline constexpr BufferId kInvalidBuffer = 0;
+
+struct BufferInfo {
+  BufferId id = kInvalidBuffer;
+  Bytes size = 0;
+  std::vector<SegmentId> segments;  // in logical order
+};
+
+// A contiguous piece of a buffer homed at one location; what the timing
+// layer consumes to build simulator flows.
+struct LocatedSpan {
+  Location location;
+  Bytes bytes = 0;
+  SegmentId segment = kInvalidSegment;
+};
+
+struct MigrationRecord {
+  SegmentId segment = kInvalidSegment;
+  Location from;
+  Location to;
+  Bytes bytes = 0;
+};
+
+class PoolManager {
+ public:
+  // The cluster must outlive the manager.  The default policy is the
+  // paper's local-first placement.
+  explicit PoolManager(cluster::Cluster* cluster,
+                       std::unique_ptr<PlacementPolicy> policy = nullptr);
+
+  cluster::Cluster& cluster() { return *cluster_; }
+  const SegmentMap& segment_map() const { return segments_; }
+  AccessTracker& access_tracker() { return tracker_; }
+  PlacementPolicy& placement() { return *policy_; }
+  void set_placement(std::unique_ptr<PlacementPolicy> policy);
+
+  // Allocation --------------------------------------------------------------
+
+  // Allocates `bytes` from the pool, preferring `preferred`'s shared region.
+  // Fails with kOutOfMemory when the pool cannot hold it (Figure 5).
+  StatusOr<BufferId> Allocate(Bytes bytes,
+                              std::optional<cluster::ServerId> preferred);
+
+  Status Free(BufferId buffer);
+
+  // Grows `buffer` by `delta` bytes: new segments are placed by the
+  // current policy (preferring `preferred`) and appended, so existing
+  // offsets — and RemoteRefs — stay valid.
+  Status Grow(BufferId buffer, Bytes delta,
+              std::optional<cluster::ServerId> preferred);
+
+  // Shrinks `buffer` to `new_size`, releasing whole tail segments (use
+  // SplitSegmentAt first for byte-precise trims).  Fails with
+  // kFailedPrecondition if the cut lands inside a segment.
+  Status Shrink(BufferId buffer, Bytes new_size);
+
+  StatusOr<BufferInfo> Describe(BufferId buffer) const;
+
+  // Point-in-time view of pool health: per-server capacity and how many
+  // bytes of each server's shared region hold segments whose dominant
+  // accessor is remote (the balancer's backlog).
+  struct PoolSnapshot {
+    struct ServerEntry {
+      cluster::ServerId server = 0;
+      Bytes shared = 0;
+      Bytes used = 0;
+      Bytes remote_hot = 0;  // resident bytes another server wants more
+      bool crashed = false;
+    };
+    std::vector<ServerEntry> servers;
+    std::size_t buffers = 0;
+    std::size_t segments = 0;
+  };
+  PoolSnapshot Snapshot(SimTime now) const;
+
+  // The located spans covering [offset, offset+len) of a buffer, merged
+  // per contiguous location.  This is the locality picture Figures 2–5 are
+  // built from.
+  StatusOr<std::vector<LocatedSpan>> Spans(BufferId buffer, Bytes offset,
+                                           Bytes len) const;
+
+  // Fraction of the buffer homed at `server` (0 when absent).
+  StatusOr<double> LocalFraction(BufferId buffer,
+                                 cluster::ServerId server) const;
+
+  // Data plane ----------------------------------------------------------------
+
+  // Real-data read/write (requires cluster backing stores).  Accesses are
+  // recorded against `from` in the hotness profile at simulated time `now`.
+  Status Read(cluster::ServerId from, BufferId buffer, Bytes offset,
+              std::span<std::byte> out, SimTime now = 0);
+  Status Write(cluster::ServerId from, BufferId buffer, Bytes offset,
+               std::span<const std::byte> in, SimTime now = 0);
+
+  // Accounting-only access (timing experiments without backing): records
+  // hotness exactly like Read/Write.
+  Status Touch(cluster::ServerId from, BufferId buffer, Bytes offset,
+               Bytes len, SimTime now);
+
+  // Migration ------------------------------------------------------------------
+
+  // Re-homes one segment.  Copies real bytes when backing exists.  The
+  // segment's logical address is unchanged; its generation is bumped.
+  StatusOr<MigrationRecord> MigrateSegment(SegmentId seg,
+                                           cluster::ServerId dst);
+
+  // Splits one segment of `buffer` at `offset` bytes into its owning
+  // segment, producing two adjacent segments with the same combined
+  // contents and locations.  Buffer addresses, spans, and data are
+  // unchanged — only the migration/replication granularity becomes finer,
+  // so a balancer can move the hot half of a huge allocation without
+  // paying to copy the cold half.  The segment must be unreplicated (split
+  // replicas would need a parallel split on every copy).
+  Status SplitSegmentAt(BufferId buffer, Bytes offset);
+
+  // Failure handling ------------------------------------------------------------
+
+  // Marks the server crashed.  Segments homed there fail over to a replica
+  // when one exists (see ReplicationManager) or transition to kLost.
+  // Returns the segments that were lost.
+  std::vector<SegmentId> OnServerCrash(cluster::ServerId server);
+
+  // Translation -------------------------------------------------------------------
+
+  // Per-server translator (lazily created); exposes TLB-style stats.
+  AddressTranslator& translator(cluster::ServerId server);
+
+  // Operational counters (lmp.alloc.*, lmp.migrate.*, ...); defaults to
+  // the process-global registry.
+  MetricsRegistry& metrics() { return *metrics_; }
+  void set_metrics(MetricsRegistry* registry) {
+    LMP_CHECK(registry != nullptr);
+    metrics_ = registry;
+  }
+
+  // Internals used by the replication/erasure layer ---------------------------
+
+  StatusOr<std::vector<mem::FrameRun>> AllocateFramesAt(const Location& loc,
+                                                        Bytes bytes);
+  Status FreeFramesAt(const Location& loc,
+                      const std::vector<mem::FrameRun>& runs);
+  LocalFrameMap& local_map(const Location& loc);
+  Status CopySegmentData(SegmentId seg, const Location& from,
+                         const std::vector<mem::FrameRun>& from_runs,
+                         const Location& to,
+                         const std::vector<mem::FrameRun>& to_runs,
+                         Bytes size);
+  mem::BackingStore* BackingAt(const Location& loc);
+  SegmentMap& mutable_segment_map() { return segments_; }
+
+ private:
+  struct ResolvedPiece {
+    SegmentId segment;
+    Bytes seg_offset;
+    Bytes len;
+  };
+
+  StatusOr<std::vector<ResolvedPiece>> ResolveRange(BufferId buffer,
+                                                    Bytes offset,
+                                                    Bytes len) const;
+
+  Status AccessImpl(cluster::ServerId from, BufferId buffer, Bytes offset,
+                    Bytes len, std::span<std::byte> read_out,
+                    std::span<const std::byte> write_in, SimTime now);
+
+  cluster::Cluster* cluster_;
+  std::unique_ptr<PlacementPolicy> policy_;
+  SegmentMap segments_;
+  AccessTracker tracker_;
+  std::unordered_map<Location, LocalFrameMap> local_maps_;
+  std::unordered_map<BufferId, BufferInfo> buffers_;
+  std::unordered_map<cluster::ServerId, std::unique_ptr<AddressTranslator>>
+      translators_;
+  SegmentId next_segment_ = 0;
+  BufferId next_buffer_ = 1;
+  MetricsRegistry* metrics_ = &MetricsRegistry::Global();
+};
+
+}  // namespace lmp::core

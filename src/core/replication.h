@@ -1,0 +1,51 @@
+// ReplicationManager — failure masking by replication (§5 "Failure
+// domains": "LMPs can take advantage of similar solutions proposed for
+// physical pools, such as failure masking through replication or erasure
+// coding").
+//
+// Each protected segment keeps `replication_factor` extra copies on
+// distinct live servers.  PoolManager::OnServerCrash promotes a surviving
+// replica to primary; RestoreRedundancy() then re-creates the missing
+// copies so a second crash is survivable too.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "common/status.h"
+#include "core/pool_manager.h"
+
+namespace lmp::core {
+
+class ReplicationManager {
+ public:
+  // replication_factor = number of EXTRA copies (1 => tolerate one crash).
+  ReplicationManager(PoolManager* manager, int replication_factor = 1);
+
+  // Creates the missing replicas for one segment, on live servers that hold
+  // neither the primary nor another replica.  Copies real bytes when
+  // backing exists.
+  Status ProtectSegment(SegmentId seg);
+
+  // Protects every segment of a buffer.
+  Status ProtectBuffer(BufferId buffer);
+
+  // Re-establishes the configured redundancy for every protected segment
+  // (after crashes/promotions).  Returns the number of replicas created.
+  StatusOr<int> RestoreRedundancy();
+
+  // Storage overhead factor for this configuration (1 + factor).
+  double CapacityOverhead() const { return 1.0 + replication_factor_; }
+
+  int replication_factor() const { return replication_factor_; }
+
+ private:
+  StatusOr<cluster::ServerId> PickReplicaHost(const SegmentInfo& info) const;
+  Status CreateReplica(SegmentInfo* info, cluster::ServerId host);
+
+  PoolManager* manager_;
+  int replication_factor_;
+  std::vector<SegmentId> protected_;
+};
+
+}  // namespace lmp::core

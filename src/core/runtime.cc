@@ -1,0 +1,128 @@
+#include "core/runtime.h"
+
+#include <algorithm>
+
+#include "common/logging.h"
+
+namespace lmp::core {
+
+LmpRuntime::LmpRuntime(PoolManager* manager, RuntimeConfig config)
+    : manager_(manager), config_(config), migrator_(manager,
+                                                    config.migration) {
+  LMP_CHECK(manager != nullptr);
+}
+
+void LmpRuntime::SetDemand(const ServerDemand& demand) {
+  demands_[demand.server] = demand;
+}
+
+void LmpRuntime::RunSizing() {
+  if (demands_.empty()) return;
+  std::vector<ServerDemand> demands;
+  demands.reserve(demands_.size());
+  for (const auto& [server, d] : demands_) demands.push_back(d);
+  const SizingPlan plan =
+      SizingOptimizer::Solve(manager_->cluster(), std::move(demands));
+  stats_.sizing_deferred +=
+      SizingOptimizer::Apply(manager_->cluster(), plan);
+  ++stats_.sizing_rounds;
+}
+
+std::vector<MigrationRecord> LmpRuntime::Tick(SimTime now) {
+  std::vector<MigrationRecord> records;
+  if (config_.enable_migration &&
+      (last_migration_ < 0 ||
+       now - last_migration_ >= config_.migration_period)) {
+    const MigrationRoundStats round = migrator_.RunOnce(now, &records);
+    ++stats_.migration_rounds;
+    stats_.migrations += round.migrated;
+    stats_.bytes_migrated += round.bytes_moved;
+    last_migration_ = now;
+  }
+  if (config_.enable_sizing &&
+      (last_sizing_ < 0 || now - last_sizing_ >= config_.sizing_period)) {
+    RunSizing();
+    last_sizing_ = now;
+  }
+  return records;
+}
+
+StatusOr<std::vector<MigrationRecord>> LmpRuntime::DrainServer(
+    cluster::ServerId server, Bytes target_bytes, SimTime now) {
+  auto& cluster = manager_->cluster();
+  auto& srv = cluster.server(server);
+  std::vector<MigrationRecord> records;
+
+  // Shrink may already be possible.
+  if (srv.ResizeShared(target_bytes).ok()) return records;
+
+  // The shrink is blocked by segments holding frames in the region being
+  // removed (the allocator trims from the tail).  Those — and only those —
+  // must leave; evict coldest first.
+  const std::uint64_t target_frames =
+      mem::FramesForBytes(target_bytes, srv.frame_size());
+  struct Resident {
+    SegmentId seg;
+    Bytes size;
+    double heat;
+  };
+  std::vector<Resident> residents;
+  const Location here = Location::OnServer(server);
+  manager_->segment_map().ForEach([&](const SegmentInfo& info) {
+    if (info.home != here || info.state != SegmentState::kActive) return;
+    auto runs_or = manager_->local_map(here).RunsOf(info.id);
+    if (!runs_or.ok()) return;
+    for (const mem::FrameRun& run : runs_or.value()) {
+      if (run.end() > target_frames) {
+        residents.push_back(Resident{
+            info.id, info.size,
+            manager_->access_tracker().TotalBytes(info.id, now)});
+        return;
+      }
+    }
+  });
+  std::sort(residents.begin(), residents.end(),
+            [](const Resident& a, const Resident& b) {
+              return a.heat < b.heat;
+            });
+
+  for (const Resident& r : residents) {
+    // Move to the live peer with the most free shared capacity.
+    cluster::ServerId best = server;
+    Bytes best_free = 0;
+    for (int s = 0; s < cluster.num_servers(); ++s) {
+      const auto id = static_cast<cluster::ServerId>(s);
+      if (id == server || cluster.server(id).crashed()) continue;
+      const Bytes free = cluster.server(id).shared_allocator().free_bytes();
+      if (free >= r.size && free > best_free) {
+        best = id;
+        best_free = free;
+      }
+    }
+    if (best == server) {
+      return OutOfMemoryError("peers cannot absorb drained segments");
+    }
+    LMP_ASSIGN_OR_RETURN(MigrationRecord rec,
+                         manager_->MigrateSegment(r.seg, best));
+    stats_.bytes_migrated += rec.bytes;
+    ++stats_.migrations;
+    records.push_back(rec);
+  }
+
+  LMP_RETURN_IF_ERROR(srv.ResizeShared(target_bytes));
+  return records;
+}
+
+std::vector<MigrationRecord> LmpRuntime::RunAllNow(SimTime now) {
+  std::vector<MigrationRecord> records;
+  const MigrationRoundStats round = migrator_.RunOnce(now, &records);
+  ++stats_.migration_rounds;
+  stats_.migrations += round.migrated;
+  stats_.bytes_migrated += round.bytes_moved;
+  last_migration_ = now;
+  RunSizing();
+  last_sizing_ = now;
+  return records;
+}
+
+}  // namespace lmp::core

@@ -1,0 +1,75 @@
+// LmpRuntime: the per-deployment runtime loop.
+//
+// §3.2: "the runtime must execute at least two background tasks: one for
+// adjusting the size of shared regions to minimize remote accesses, and
+// another to find opportunities for buffer migration."  Tick(now) runs
+// whichever of the two is due; experiments drive it from simulated time
+// (benchmarks) or loop iterations (functional tests).
+#pragma once
+
+#include <cstdint>
+#include <unordered_map>
+#include <vector>
+
+#include "common/units.h"
+#include "core/migration.h"
+#include "core/pool_manager.h"
+#include "core/sizing.h"
+
+namespace lmp::core {
+
+struct RuntimeConfig {
+  SimTime migration_period = Milliseconds(10);
+  SimTime sizing_period = Milliseconds(100);
+  MigrationConfig migration;
+  bool enable_migration = true;
+  bool enable_sizing = true;
+};
+
+struct RuntimeStats {
+  std::uint64_t migration_rounds = 0;
+  std::uint64_t migrations = 0;
+  Bytes bytes_migrated = 0;
+  std::uint64_t sizing_rounds = 0;
+  std::uint64_t sizing_deferred = 0;
+};
+
+class LmpRuntime {
+ public:
+  LmpRuntime(PoolManager* manager, RuntimeConfig config = {});
+
+  // Registers/updates a server's demand declaration for the sizer.
+  void SetDemand(const ServerDemand& demand);
+
+  // Runs any background task whose period has elapsed since its last run.
+  // Returns migrations executed this tick.
+  std::vector<MigrationRecord> Tick(SimTime now);
+
+  // Force both tasks to run now (tests, explicit rebalances).
+  std::vector<MigrationRecord> RunAllNow(SimTime now);
+
+  // Drains `server`'s shared region down to `target_bytes` by migrating
+  // resident segments to peers (coldest first — they are the cheapest to
+  // lose locality on), then applies the shrink.  This is how a blocked
+  // SizingOptimizer::Apply shrink eventually lands: migration first, then
+  // resize (§5 "Sizing the shared regions" meets "Locality balancing").
+  // Fails with kOutOfMemory if peers cannot absorb the displaced bytes.
+  StatusOr<std::vector<MigrationRecord>> DrainServer(
+      cluster::ServerId server, Bytes target_bytes, SimTime now);
+
+  const RuntimeStats& stats() const { return stats_; }
+  MigrationEngine& migration_engine() { return migrator_; }
+
+ private:
+  void RunSizing();
+
+  PoolManager* manager_;
+  RuntimeConfig config_;
+  MigrationEngine migrator_;
+  std::unordered_map<cluster::ServerId, ServerDemand> demands_;
+  SimTime last_migration_ = -1;
+  SimTime last_sizing_ = -1;
+  RuntimeStats stats_;
+};
+
+}  // namespace lmp::core

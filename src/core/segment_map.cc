@@ -1,0 +1,71 @@
+#include "core/segment_map.h"
+
+namespace lmp::core {
+
+Status SegmentMap::Insert(const SegmentInfo& info) {
+  if (info.id == kInvalidSegment) {
+    return InvalidArgumentError("invalid segment id");
+  }
+  if (info.size == 0 || info.size > kMaxSegmentSize) {
+    return InvalidArgumentError("segment size out of range");
+  }
+  auto [it, inserted] = map_.emplace(info.id, info);
+  if (!inserted) {
+    return AlreadyExistsError("segment " + std::to_string(info.id));
+  }
+  return Status::Ok();
+}
+
+Status SegmentMap::Remove(SegmentId id) {
+  if (map_.erase(id) == 0) {
+    return NotFoundError("segment " + std::to_string(id));
+  }
+  return Status::Ok();
+}
+
+StatusOr<Location> SegmentMap::Lookup(SegmentId id) const {
+  auto it = map_.find(id);
+  if (it == map_.end()) {
+    return NotFoundError("segment " + std::to_string(id));
+  }
+  return it->second.home;
+}
+
+const SegmentInfo* SegmentMap::Find(SegmentId id) const {
+  auto it = map_.find(id);
+  return it == map_.end() ? nullptr : &it->second;
+}
+
+SegmentInfo* SegmentMap::FindMutable(SegmentId id) {
+  auto it = map_.find(id);
+  return it == map_.end() ? nullptr : &it->second;
+}
+
+Status SegmentMap::UpdateHome(SegmentId id, Location new_home) {
+  auto it = map_.find(id);
+  if (it == map_.end()) {
+    return NotFoundError("segment " + std::to_string(id));
+  }
+  it->second.home = new_home;
+  ++it->second.generation;
+  return Status::Ok();
+}
+
+Status SegmentMap::SetState(SegmentId id, SegmentState state) {
+  auto it = map_.find(id);
+  if (it == map_.end()) {
+    return NotFoundError("segment " + std::to_string(id));
+  }
+  it->second.state = state;
+  return Status::Ok();
+}
+
+std::vector<SegmentId> SegmentMap::SegmentsAt(const Location& loc) const {
+  std::vector<SegmentId> out;
+  for (const auto& [id, info] : map_) {
+    if (info.home == loc) out.push_back(id);
+  }
+  return out;
+}
+
+}  // namespace lmp::core

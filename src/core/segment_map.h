@@ -1,0 +1,56 @@
+// SegmentMap — translation step 1 (§5 "Address translation").
+//
+// The coarse-grained, globally replicated map from segment id to its home
+// server.  The paper's key argument is that a single flat directory would
+// force remote lookups on every translation; instead this map is small
+// (one entry per segment, not per page) so every server can hold a full
+// copy, and only *changes* (migrations) need to propagate.  The map tracks
+// a version per segment so cached translations can be validated cheaply.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <unordered_map>
+#include <vector>
+
+#include "common/status.h"
+#include "core/segment.h"
+
+namespace lmp::core {
+
+class SegmentMap {
+ public:
+  SegmentMap() = default;
+
+  // Registers a new segment.  Fails with kAlreadyExists on id reuse.
+  Status Insert(const SegmentInfo& info);
+
+  Status Remove(SegmentId id);
+
+  // Step-1 lookup.  kNotFound for unregistered segments.
+  StatusOr<Location> Lookup(SegmentId id) const;
+
+  const SegmentInfo* Find(SegmentId id) const;
+  SegmentInfo* FindMutable(SegmentId id);
+
+  // Re-homes a segment (migration commit).  Bumps the generation so stale
+  // cached translations become detectable.
+  Status UpdateHome(SegmentId id, Location new_home);
+
+  Status SetState(SegmentId id, SegmentState state);
+
+  std::size_t size() const { return map_.size(); }
+
+  // All segments currently homed at `loc` (crash handling, sizing).
+  std::vector<SegmentId> SegmentsAt(const Location& loc) const;
+
+  template <typename Fn>
+  void ForEach(Fn&& fn) const {
+    for (const auto& [id, info] : map_) fn(info);
+  }
+
+ private:
+  std::unordered_map<SegmentId, SegmentInfo> map_;
+};
+
+}  // namespace lmp::core

@@ -1,0 +1,106 @@
+#include "core/sizing.h"
+
+#include <algorithm>
+
+#include "common/logging.h"
+
+namespace lmp::core {
+
+double SizingPlan::LocalFraction() const {
+  Bytes local = 0, total = 0;
+  for (const auto& e : entries) {
+    local += e.expected_local;
+    total += e.expected_local + e.expected_remote;
+  }
+  return total == 0 ? 1.0 : static_cast<double>(local) /
+                                static_cast<double>(total);
+}
+
+SizingPlan SizingOptimizer::Solve(const cluster::Cluster& cluster,
+                                  std::vector<ServerDemand> demands) {
+  SizingPlan plan;
+
+  struct Work {
+    ServerDemand demand;
+    Bytes total = 0;      // server DRAM
+    Bytes floor = 0;      // private reservation
+    Bytes shared = 0;     // decided shared size
+    Bytes local_served = 0;
+    Bytes remote_served = 0;
+    Bytes overflow = 0;   // demand not yet placed
+  };
+  std::vector<Work> work;
+  for (const ServerDemand& d : demands) {
+    Work w;
+    w.demand = d;
+    w.total = cluster.server(d.server).total_memory();
+    w.floor = std::min(d.private_demand, w.total);
+    work.push_back(w);
+  }
+
+  // Step 2: self-serve pool demand out of the server's own slack.
+  for (Work& w : work) {
+    const Bytes slack = w.total - w.floor;
+    w.local_served = std::min(w.demand.pool_demand, slack);
+    w.shared = w.local_served;
+    w.overflow = w.demand.pool_demand - w.local_served;
+  }
+
+  // Step 3: place overflow, highest priority first.
+  std::vector<std::size_t> order(work.size());
+  for (std::size_t i = 0; i < order.size(); ++i) order[i] = i;
+  std::stable_sort(order.begin(), order.end(),
+                   [&](std::size_t a, std::size_t b) {
+                     return work[a].demand.priority > work[b].demand.priority;
+                   });
+
+  for (std::size_t oi : order) {
+    Work& w = work[oi];
+    while (w.overflow > 0) {
+      // Peer with the most remaining slack.
+      Work* best = nullptr;
+      for (Work& peer : work) {
+        if (&peer == &w) continue;
+        const Bytes slack = peer.total - peer.floor - peer.shared;
+        if (slack == 0) continue;
+        if (best == nullptr ||
+            slack > best->total - best->floor - best->shared) {
+          best = &peer;
+        }
+      }
+      if (best == nullptr) break;  // no slack anywhere
+      const Bytes slack = best->total - best->floor - best->shared;
+      const Bytes take = std::min(w.overflow, slack);
+      best->shared += take;
+      w.remote_served += take;
+      w.overflow -= take;
+    }
+    plan.unmet_demand += w.overflow;  // step 4: shed
+  }
+
+  for (const Work& w : work) {
+    plan.entries.push_back(SizingPlan::Entry{
+        w.demand.server, w.shared, w.local_served, w.remote_served});
+  }
+  return plan;
+}
+
+int SizingOptimizer::Apply(cluster::Cluster& cluster, const SizingPlan& plan) {
+  int deferred = 0;
+  for (const auto& e : plan.entries) {
+    auto& srv = cluster.server(e.server);
+    if (srv.crashed()) {
+      ++deferred;
+      continue;
+    }
+    const Status st = srv.ResizeShared(e.shared_bytes);
+    if (!st.ok()) {
+      // Shrink blocked by live frames: leave as-is; the migrator drains
+      // them and a later round retries.
+      ++deferred;
+    }
+  }
+  return deferred;
+}
+
+}  // namespace lmp::core

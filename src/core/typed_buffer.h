@@ -1,0 +1,151 @@
+// TypedBuffer<T> / RemoteRef<T>: the application-library view of pool
+// memory (§3.2: "an application library for allocating, controlling, and
+// setting up disaggregated memory access").
+//
+// A TypedBuffer is an array of T living in the pool; element accesses
+// resolve through the pool manager, so they are recorded in the hotness
+// profile and keep working across migrations.  A RemoteRef<T> is a
+// pointer-like handle to one element — the §5 addressing property made
+// concrete: holding a RemoteRef while the segment migrates is safe, the
+// next Load simply resolves to the new home.
+#pragma once
+
+#include <span>
+
+#include "core/lmp.h"
+
+namespace lmp {
+
+template <typename T>
+class RemoteRef;
+
+template <typename T>
+class TypedBuffer {
+  static_assert(std::is_trivially_copyable_v<T>,
+                "pool elements must be trivially copyable");
+
+ public:
+  TypedBuffer() = default;
+
+  static StatusOr<TypedBuffer<T>> Create(
+      Pool* pool, std::uint64_t count,
+      std::optional<cluster::ServerId> preferred = {}) {
+    if (pool == nullptr) return InvalidArgumentError("null pool");
+    if (count == 0) return InvalidArgumentError("empty buffer");
+    LMP_ASSIGN_OR_RETURN(core::BufferId id,
+                         pool->Allocate(count * sizeof(T), preferred));
+    return TypedBuffer<T>(pool, id, count);
+  }
+
+  std::uint64_t size() const { return count_; }
+  core::BufferId id() const { return buffer_; }
+  bool valid() const { return pool_ != nullptr; }
+
+  StatusOr<T> At(cluster::ServerId from, std::uint64_t index,
+                 SimTime now = 0) const {
+    LMP_RETURN_IF_ERROR(CheckIndex(index));
+    T value{};
+    LMP_RETURN_IF_ERROR(pool_->manager().Read(
+        from, buffer_, index * sizeof(T),
+        std::span<std::byte>(reinterpret_cast<std::byte*>(&value),
+                             sizeof(T)),
+        now));
+    return value;
+  }
+
+  // Set/WriteRange are const: they mutate pool data, not this handle.
+  Status Set(cluster::ServerId from, std::uint64_t index, const T& value,
+             SimTime now = 0) const {
+    LMP_RETURN_IF_ERROR(CheckIndex(index));
+    return pool_->manager().Write(
+        from, buffer_, index * sizeof(T),
+        std::span<const std::byte>(
+            reinterpret_cast<const std::byte*>(&value), sizeof(T)),
+        now);
+  }
+
+  Status ReadRange(cluster::ServerId from, std::uint64_t first,
+                   std::span<T> out, SimTime now = 0) const {
+    LMP_RETURN_IF_ERROR(CheckRange(first, out.size()));
+    return pool_->manager().Read(from, buffer_, first * sizeof(T),
+                                 std::as_writable_bytes(out), now);
+  }
+
+  Status WriteRange(cluster::ServerId from, std::uint64_t first,
+                    std::span<const T> in, SimTime now = 0) const {
+    LMP_RETURN_IF_ERROR(CheckRange(first, in.size()));
+    return pool_->manager().Write(from, buffer_, first * sizeof(T),
+                                  std::as_bytes(in), now);
+  }
+
+  // Pointer-like handle to element `index`; see RemoteRef below.
+  RemoteRef<T> Ref(std::uint64_t index) const;
+
+  // Fraction of the array homed at `server` right now.
+  StatusOr<double> LocalFraction(cluster::ServerId server) const {
+    return pool_->manager().LocalFraction(buffer_, server);
+  }
+
+  Status Release() {
+    if (pool_ == nullptr) return FailedPreconditionError("not valid");
+    const Status st = pool_->Free(buffer_);
+    pool_ = nullptr;
+    return st;
+  }
+
+ private:
+  friend class RemoteRef<T>;
+
+  TypedBuffer(Pool* pool, core::BufferId buffer, std::uint64_t count)
+      : pool_(pool), buffer_(buffer), count_(count) {}
+
+  Status CheckIndex(std::uint64_t index) const {
+    if (pool_ == nullptr) return FailedPreconditionError("not valid");
+    if (index >= count_) return InvalidArgumentError("index out of range");
+    return Status::Ok();
+  }
+  Status CheckRange(std::uint64_t first, std::uint64_t n) const {
+    if (pool_ == nullptr) return FailedPreconditionError("not valid");
+    if (first + n > count_) return InvalidArgumentError("range too long");
+    return Status::Ok();
+  }
+
+  Pool* pool_ = nullptr;
+  core::BufferId buffer_ = core::kInvalidBuffer;
+  std::uint64_t count_ = 0;
+};
+
+// A migration-stable element handle.  Copyable, cheap, and never
+// invalidated by data movement: each Load/Store re-resolves through the
+// two-step translation path.
+template <typename T>
+class RemoteRef {
+ public:
+  RemoteRef() = default;
+
+  StatusOr<T> Load(cluster::ServerId from, SimTime now = 0) const {
+    if (buffer_ == nullptr) return FailedPreconditionError("null ref");
+    return buffer_->At(from, index_, now);
+  }
+  Status Store(cluster::ServerId from, const T& value, SimTime now = 0) {
+    if (buffer_ == nullptr) return FailedPreconditionError("null ref");
+    return buffer_->Set(from, index_, value, now);
+  }
+
+  std::uint64_t index() const { return index_; }
+
+ private:
+  friend class TypedBuffer<T>;
+  RemoteRef(const TypedBuffer<T>* buffer, std::uint64_t index)
+      : buffer_(buffer), index_(index) {}
+
+  const TypedBuffer<T>* buffer_ = nullptr;
+  std::uint64_t index_ = 0;
+};
+
+template <typename T>
+RemoteRef<T> TypedBuffer<T>::Ref(std::uint64_t index) const {
+  return RemoteRef<T>(this, index);
+}
+
+}  // namespace lmp

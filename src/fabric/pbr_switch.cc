@@ -1,0 +1,179 @@
+#include "fabric/pbr_switch.h"
+
+#include <deque>
+#include <limits>
+
+#include "common/logging.h"
+
+namespace lmp::fabric {
+
+PbrFabric::PbrFabric(sim::FluidSimulator* sim) : sim_(sim) {
+  LMP_CHECK(sim != nullptr);
+}
+
+NodeId PbrFabric::AddSwitch(std::string name) {
+  LMP_CHECK(!committed_) << "topology frozen";
+  nodes_.push_back(Node{std::move(name), false, 0, {}, {}});
+  return static_cast<NodeId>(nodes_.size() - 1);
+}
+
+StatusOr<NodeId> PbrFabric::AddEndpoint(std::string name) {
+  if (committed_) return FailedPreconditionError("topology frozen");
+  if (next_pbr_ == std::numeric_limits<PbrId>::max()) {
+    return OutOfMemoryError("PBR id space exhausted");
+  }
+  nodes_.push_back(Node{std::move(name), true, next_pbr_++, {}, {}});
+  const auto id = static_cast<NodeId>(nodes_.size() - 1);
+  endpoints_.push_back(id);
+  return id;
+}
+
+Status PbrFabric::Link(NodeId a, NodeId b, BytesPerSec bandwidth) {
+  if (committed_) return FailedPreconditionError("topology frozen");
+  if (a >= nodes_.size() || b >= nodes_.size() || a == b) {
+    return InvalidArgumentError("bad link endpoints");
+  }
+  const sim::ResourceId ab = sim_->AddResource(
+      nodes_[a].name + "->" + nodes_[b].name, bandwidth);
+  const sim::ResourceId ba = sim_->AddResource(
+      nodes_[b].name + "->" + nodes_[a].name, bandwidth);
+  nodes_[a].edges.push_back(
+      Edge{b, ab, static_cast<int>(nodes_[a].edges.size())});
+  nodes_[b].edges.push_back(
+      Edge{a, ba, static_cast<int>(nodes_[b].edges.size())});
+  return Status::Ok();
+}
+
+Status PbrFabric::BuildRoutesFrom(NodeId target) {
+  // Reverse BFS from the target endpoint: for every node, the port that
+  // leads one hop closer to `target`.
+  const PbrId pbr = nodes_[target].pbr;
+  std::vector<int> dist(nodes_.size(), -1);
+  std::deque<NodeId> queue{target};
+  dist[target] = 0;
+  while (!queue.empty()) {
+    const NodeId u = queue.front();
+    queue.pop_front();
+    for (const Edge& e : nodes_[u].edges) {
+      if (dist[e.peer] != -1) continue;
+      dist[e.peer] = dist[u] + 1;
+      queue.push_back(e.peer);
+    }
+  }
+  for (NodeId u = 0; u < nodes_.size(); ++u) {
+    if (u == target) continue;
+    if (dist[u] == -1) {
+      if (nodes_[u].is_endpoint) {
+        return InvalidArgumentError("endpoint " + nodes_[u].name +
+                                    " unreachable from " +
+                                    nodes_[target].name);
+      }
+      continue;  // isolated switch: harmless
+    }
+    // Pick the first edge that decreases distance.
+    for (const Edge& e : nodes_[u].edges) {
+      if (dist[e.peer] == dist[u] - 1) {
+        nodes_[u].routes[pbr] = e.port;
+        break;
+      }
+    }
+  }
+  return Status::Ok();
+}
+
+Status PbrFabric::Commit() {
+  if (committed_) return FailedPreconditionError("already committed");
+  if (endpoints_.size() < 2) {
+    return FailedPreconditionError("need at least two endpoints");
+  }
+  for (NodeId e : endpoints_) {
+    LMP_RETURN_IF_ERROR(BuildRoutesFrom(e));
+  }
+  committed_ = true;
+  return Status::Ok();
+}
+
+int PbrFabric::switch_count() const {
+  int n = 0;
+  for (const Node& node : nodes_) n += node.is_endpoint ? 0 : 1;
+  return n;
+}
+
+int PbrFabric::endpoint_count() const {
+  return static_cast<int>(endpoints_.size());
+}
+
+StatusOr<PbrId> PbrFabric::PbrIdOf(NodeId endpoint) const {
+  if (endpoint >= nodes_.size() || !nodes_[endpoint].is_endpoint) {
+    return NotFoundError("not an endpoint");
+  }
+  return nodes_[endpoint].pbr;
+}
+
+StatusOr<int> PbrFabric::HopCount(NodeId from, NodeId to) const {
+  LMP_ASSIGN_OR_RETURN(auto route, Route(from, to));
+  return static_cast<int>(route.size());
+}
+
+StatusOr<std::vector<sim::ResourceId>> PbrFabric::Route(NodeId from,
+                                                        NodeId to) const {
+  if (!committed_) return FailedPreconditionError("commit the fabric first");
+  if (from >= nodes_.size() || to >= nodes_.size()) {
+    return InvalidArgumentError("bad node id");
+  }
+  if (!nodes_[from].is_endpoint || !nodes_[to].is_endpoint) {
+    return InvalidArgumentError("routes are endpoint-to-endpoint");
+  }
+  if (from == to) return std::vector<sim::ResourceId>{};
+
+  const PbrId dest = nodes_[to].pbr;
+  std::vector<sim::ResourceId> path;
+  NodeId cur = from;
+  // Walk routing tables; bounded by node count (loop-free by construction).
+  for (std::size_t steps = 0; steps <= nodes_.size(); ++steps) {
+    if (cur == to) return path;
+    auto it = nodes_[cur].routes.find(dest);
+    if (it == nodes_[cur].routes.end()) {
+      return InternalError("missing route at " + nodes_[cur].name);
+    }
+    const Edge& e = nodes_[cur].edges[it->second];
+    path.push_back(e.forward);
+    cur = e.peer;
+  }
+  return InternalError("routing loop detected");
+}
+
+StatusOr<int> PbrFabric::EgressPort(NodeId switch_node,
+                                    PbrId destination) const {
+  if (switch_node >= nodes_.size()) return NotFoundError("no such node");
+  auto it = nodes_[switch_node].routes.find(destination);
+  if (it == nodes_[switch_node].routes.end()) {
+    return NotFoundError("no route to destination");
+  }
+  return it->second;
+}
+
+DualRackTopology MakeDualRack(sim::FluidSimulator* sim, int servers_per_rack,
+                              BytesPerSec edge_bandwidth,
+                              BytesPerSec trunk_bandwidth) {
+  DualRackTopology topo;
+  topo.fabric = std::make_unique<PbrFabric>(sim);
+  PbrFabric& fabric = *topo.fabric;
+  const NodeId leaf0 = fabric.AddSwitch("leaf0");
+  const NodeId leaf1 = fabric.AddSwitch("leaf1");
+  LMP_CHECK_OK(fabric.Link(leaf0, leaf1, trunk_bandwidth));
+  for (int rack = 0; rack < 2; ++rack) {
+    for (int s = 0; s < servers_per_rack; ++s) {
+      auto ep = fabric.AddEndpoint("rack" + std::to_string(rack) +
+                                   ".server" + std::to_string(s));
+      LMP_CHECK(ep.ok());
+      LMP_CHECK_OK(fabric.Link(*ep, rack == 0 ? leaf0 : leaf1,
+                               edge_bandwidth));
+      (rack == 0 ? topo.rack0 : topo.rack1).push_back(*ep);
+    }
+  }
+  LMP_CHECK_OK(fabric.Commit());
+  return topo;
+}
+
+}  // namespace lmp::fabric

@@ -1,0 +1,97 @@
+// Port-Based Routing (PBR) fabric switch — the CXL 3 mechanism that lets
+// Global FAMs scale to a rack (§2.2).
+//
+// A PbrFabric is a graph of switches and endpoints (servers, pool boxes).
+// Each endpoint owns a PBR id; switches hold routing tables mapping PBR id
+// to egress port.  Routes are computed by BFS at build time (shortest hop
+// count) and then resolved per-message in O(path length).  The fabric also
+// instantiates fluid-simulator resources for every inter-switch and
+// endpoint link, so multi-rack topologies compose with the rest of the
+// timing layer — e.g. a two-rack logical pool where cross-rack pulls pay
+// an extra switch hop.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "common/status.h"
+#include "common/units.h"
+#include "sim/fluid.h"
+
+namespace lmp::fabric {
+
+using PbrId = std::uint16_t;
+using NodeId = std::uint32_t;  // internal graph node (switch or endpoint)
+
+class PbrFabric {
+ public:
+  // Builds resources inside `sim` (must outlive the fabric).
+  explicit PbrFabric(sim::FluidSimulator* sim);
+
+  // Topology construction --------------------------------------------------
+  NodeId AddSwitch(std::string name);
+  // Endpoints get the next free PBR id.
+  StatusOr<NodeId> AddEndpoint(std::string name);
+  // Bidirectional link of `bandwidth` between two nodes (one fluid
+  // resource per direction).
+  Status Link(NodeId a, NodeId b, BytesPerSec bandwidth);
+  // Freezes the topology and computes routing tables.  Fails if any
+  // endpoint is unreachable from any other.
+  Status Commit();
+
+  // Queries ------------------------------------------------------------------
+  bool committed() const { return committed_; }
+  int switch_count() const;
+  int endpoint_count() const;
+  StatusOr<PbrId> PbrIdOf(NodeId endpoint) const;
+
+  // Number of switch hops between two endpoints.
+  StatusOr<int> HopCount(NodeId from, NodeId to) const;
+
+  // The fluid resources traversed from `from` to `to` (directional).
+  // Prepend core/DRAM resources from the caller's machine model.
+  StatusOr<std::vector<sim::ResourceId>> Route(NodeId from, NodeId to) const;
+
+  // The egress port a switch uses for a destination (routing-table probe).
+  StatusOr<int> EgressPort(NodeId switch_node, PbrId destination) const;
+
+ private:
+  struct Edge {
+    NodeId peer;
+    sim::ResourceId forward;  // this-node -> peer direction
+    int port;                 // port index on this node
+  };
+  struct Node {
+    std::string name;
+    bool is_endpoint = false;
+    PbrId pbr = 0;
+    std::vector<Edge> edges;
+    // Routing table: destination PBR id -> local port index.
+    std::unordered_map<PbrId, int> routes;
+  };
+
+  Status BuildRoutesFrom(NodeId endpoint);
+
+  sim::FluidSimulator* sim_;
+  std::vector<Node> nodes_;
+  std::vector<NodeId> endpoints_;
+  PbrId next_pbr_ = 0;
+  bool committed_ = false;
+};
+
+// Convenience: a dual-rack deployment — `servers_per_rack` endpoints on
+// each of two leaf switches joined by an inter-switch trunk.  Returns the
+// fabric plus the endpoint node ids rack by rack.
+struct DualRackTopology {
+  std::unique_ptr<PbrFabric> fabric;
+  std::vector<NodeId> rack0;
+  std::vector<NodeId> rack1;
+};
+DualRackTopology MakeDualRack(sim::FluidSimulator* sim, int servers_per_rack,
+                              BytesPerSec edge_bandwidth,
+                              BytesPerSec trunk_bandwidth);
+
+}  // namespace lmp::fabric

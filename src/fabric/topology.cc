@@ -1,0 +1,126 @@
+#include "fabric/topology.h"
+
+#include <string>
+
+namespace lmp::fabric {
+
+void Topology::AddServers(int num_servers) {
+  LMP_CHECK(num_servers > 0);
+  for (int s = 0; s < num_servers; ++s) {
+    const std::string prefix = "server" + std::to_string(s);
+    std::vector<sim::ResourceId> cores;
+    cores.reserve(machine_.cores_per_server);
+    for (int c = 0; c < machine_.cores_per_server; ++c) {
+      cores.push_back(sim_->AddResource(
+          prefix + ".core" + std::to_string(c), machine_.per_core_bw));
+    }
+    server_cores_.push_back(std::move(cores));
+    server_dram_.push_back(
+        sim_->AddResource(prefix + ".dram", machine_.dram_bw));
+    server_port_.push_back(
+        sim_->AddResource(prefix + ".port", link_.bandwidth));
+  }
+}
+
+Topology Topology::MakeLogical(sim::FluidSimulator* sim, int num_servers,
+                               const LinkProfile& link,
+                               const MachineProfile& machine) {
+  Topology t(sim, TopologyKind::kLogical, link, machine);
+  t.AddServers(num_servers);
+  return t;
+}
+
+Topology Topology::MakePhysical(sim::FluidSimulator* sim, int num_servers,
+                                const LinkProfile& link,
+                                const MachineProfile& machine,
+                                int pool_ports) {
+  LMP_CHECK(pool_ports > 0);
+  Topology t(sim, TopologyKind::kPhysical, link, machine);
+  t.AddServers(num_servers);
+  t.pool_dram_ = sim->AddResource("pool.dram", machine.dram_bw);
+  t.has_pool_dram_ = true;
+  for (int p = 0; p < pool_ports; ++p) {
+    t.pool_port_.push_back(
+        sim->AddResource("pool.port" + std::to_string(p), link.bandwidth));
+  }
+  return t;
+}
+
+sim::ResourceId Topology::core(ServerIndex s, int core_idx) const {
+  LMP_CHECK(s < server_cores_.size());
+  LMP_CHECK(core_idx >= 0 &&
+            core_idx < static_cast<int>(server_cores_[s].size()));
+  return server_cores_[s][core_idx];
+}
+
+sim::ResourceId Topology::dram(ServerIndex s) const {
+  LMP_CHECK(s < server_dram_.size());
+  return server_dram_[s];
+}
+
+sim::ResourceId Topology::port(ServerIndex s) const {
+  LMP_CHECK(s < server_port_.size());
+  return server_port_[s];
+}
+
+sim::ResourceId Topology::pool_dram() const {
+  LMP_CHECK(has_pool_dram_) << "logical topology has no pool box";
+  return pool_dram_;
+}
+
+sim::ResourceId Topology::pool_port(int i) const {
+  LMP_CHECK(!pool_port_.empty()) << "logical topology has no pool box";
+  return pool_port_[static_cast<std::size_t>(i) % pool_port_.size()];
+}
+
+std::vector<sim::ResourceId> Topology::LocalPath(ServerIndex s,
+                                                 int core_idx) const {
+  return {core(s, core_idx), dram(s)};
+}
+
+std::vector<sim::ResourceId> Topology::RemotePath(ServerIndex src,
+                                                  int core_idx,
+                                                  ServerIndex dst) const {
+  LMP_CHECK(src != dst) << "remote path to self; use LocalPath";
+  return {core(src, core_idx), port(src), port(dst), dram(dst)};
+}
+
+std::vector<sim::ResourceId> Topology::PoolPath(ServerIndex src,
+                                                int core_idx) const {
+  return {core(src, core_idx), port(src),
+          pool_port(static_cast<int>(src)), pool_dram()};
+}
+
+std::vector<sim::ResourceId> Topology::DmaRemotePath(ServerIndex src,
+                                                     ServerIndex dst) const {
+  LMP_CHECK(src != dst);
+  return {port(src), port(dst), dram(dst)};
+}
+
+std::vector<sim::ResourceId> Topology::DmaPoolPath(ServerIndex src) const {
+  return {port(src), pool_port(static_cast<int>(src)), pool_dram()};
+}
+
+SimTime Topology::LocalLoadedLatency(ServerIndex s) const {
+  return machine_.dram.LoadedLatency(sim_->SmoothedUtilization(dram(s)));
+}
+
+SimTime Topology::RemoteLoadedLatency(ServerIndex src,
+                                      ServerIndex dst) const {
+  // Bottleneck utilization along the path determines queueing delay.
+  const double u = std::max(sim_->SmoothedUtilization(port(src)),
+                            std::max(sim_->SmoothedUtilization(port(dst)),
+                                     sim_->SmoothedUtilization(dram(dst))));
+  return link_.LoadedLatency(u);
+}
+
+SimTime Topology::PoolLoadedLatency(ServerIndex src) const {
+  const double u = std::max(
+      sim_->SmoothedUtilization(port(src)),
+      std::max(
+          sim_->SmoothedUtilization(pool_port(static_cast<int>(src))),
+          sim_->SmoothedUtilization(pool_dram())));
+  return link_.LoadedLatency(u);
+}
+
+}  // namespace lmp::fabric

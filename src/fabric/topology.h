@@ -1,0 +1,102 @@
+// Topology: instantiates the fluid-simulator resources for a deployment and
+// hands out resource paths for memory accesses.
+//
+// Two shapes, matching Figure 1 of the paper:
+//   * Logical  — N servers on a fabric switch; the pool is carved out of
+//                server DRAM, so remote accesses go server->server.
+//   * Physical — N servers plus a separate memory-pool box attached to the
+//                switch through `pool_ports` links (the incast point the
+//                paper highlights with the thick orange line in Fig. 1a).
+//
+// Resources per server: one per core (load/store port), one DRAM device,
+// one fabric port.  The pool box adds pool DRAM plus its port(s).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "common/logging.h"
+#include "common/units.h"
+#include "fabric/link.h"
+#include "sim/fluid.h"
+
+namespace lmp::fabric {
+
+using ServerIndex = std::uint32_t;
+
+struct MachineProfile {
+  int cores_per_server = 14;          // Xeon Gold 5120 (paper testbed)
+  BytesPerSec per_core_bw = GBps(12); // single-core streaming limit
+  BytesPerSec dram_bw = GBps(97);     // Table 1 local bandwidth
+  LinkProfile dram = LinkProfile::LocalDram();
+};
+
+enum class TopologyKind { kLogical, kPhysical };
+
+class Topology {
+ public:
+  // Builds the resource graph inside `sim` (which must outlive *this).
+  static Topology MakeLogical(sim::FluidSimulator* sim, int num_servers,
+                              const LinkProfile& link,
+                              const MachineProfile& machine = {});
+  static Topology MakePhysical(sim::FluidSimulator* sim, int num_servers,
+                               const LinkProfile& link,
+                               const MachineProfile& machine = {},
+                               int pool_ports = 1);
+
+  TopologyKind kind() const { return kind_; }
+  int num_servers() const { return static_cast<int>(server_port_.size()); }
+  const MachineProfile& machine() const { return machine_; }
+  const LinkProfile& link() const { return link_; }
+  bool has_pool() const { return !pool_port_.empty(); }
+
+  // Resource ids ----------------------------------------------------------
+  sim::ResourceId core(ServerIndex s, int core_idx) const;
+  sim::ResourceId dram(ServerIndex s) const;
+  sim::ResourceId port(ServerIndex s) const;
+  sim::ResourceId pool_dram() const;
+  sim::ResourceId pool_port(int i = 0) const;
+  int pool_port_count() const { return static_cast<int>(pool_port_.size()); }
+
+  // Access paths ------------------------------------------------------------
+  // Local DRAM read/write by a core.
+  std::vector<sim::ResourceId> LocalPath(ServerIndex s, int core_idx) const;
+  // Read from another server's shared region (logical pools only).
+  std::vector<sim::ResourceId> RemotePath(ServerIndex src, int core_idx,
+                                          ServerIndex dst) const;
+  // Read from the physical pool box (physical pools only).  The pool port is
+  // chosen by server index to spread load across multi-port pools.
+  std::vector<sim::ResourceId> PoolPath(ServerIndex src, int core_idx) const;
+  // DMA path without a core constraint (migration/fill engines).
+  std::vector<sim::ResourceId> DmaRemotePath(ServerIndex src,
+                                             ServerIndex dst) const;
+  std::vector<sim::ResourceId> DmaPoolPath(ServerIndex src) const;
+
+  // Latency ------------------------------------------------------------------
+  // Loaded read latency for a path class, using the smoothed utilization of
+  // the bottleneck resource.
+  SimTime LocalLoadedLatency(ServerIndex s) const;
+  SimTime RemoteLoadedLatency(ServerIndex src, ServerIndex dst) const;
+  SimTime PoolLoadedLatency(ServerIndex src) const;
+
+ private:
+  Topology(sim::FluidSimulator* sim, TopologyKind kind, LinkProfile link,
+           MachineProfile machine)
+      : sim_(sim), kind_(kind), link_(std::move(link)), machine_(machine) {}
+
+  void AddServers(int num_servers);
+
+  sim::FluidSimulator* sim_;
+  TopologyKind kind_;
+  LinkProfile link_;
+  MachineProfile machine_;
+
+  std::vector<std::vector<sim::ResourceId>> server_cores_;
+  std::vector<sim::ResourceId> server_dram_;
+  std::vector<sim::ResourceId> server_port_;
+  std::vector<sim::ResourceId> pool_port_;
+  sim::ResourceId pool_dram_ = 0;
+  bool has_pool_dram_ = false;
+};
+
+}  // namespace lmp::fabric

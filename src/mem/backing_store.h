@@ -1,0 +1,65 @@
+// BackingStore: real memory behind the functional layer.
+//
+// The pool manager operates on real bytes — reads, writes, and migrations
+// actually move data, so correctness (address-stable migration, coherence,
+// recovery) is testable.  Benchmarks that sweep paper-scale capacities
+// (96 GB) run the timing layer against frame *accounting* only and create
+// no BackingStore; functional tests use small frame counts.
+#pragma once
+
+#include <cstddef>
+#include <cstring>
+#include <span>
+#include <vector>
+
+#include "common/logging.h"
+#include "common/units.h"
+#include "mem/frame_allocator.h"
+
+namespace lmp::mem {
+
+class BackingStore {
+ public:
+  BackingStore(std::uint64_t num_frames, Bytes frame_size)
+      : frame_size_(frame_size), data_(num_frames * frame_size) {
+    LMP_CHECK(frame_size > 0);
+  }
+
+  std::uint64_t num_frames() const { return data_.size() / frame_size_; }
+  Bytes frame_size() const { return frame_size_; }
+
+  std::span<std::byte> Frame(FrameNumber f) {
+    LMP_CHECK(f < num_frames());
+    return std::span<std::byte>(data_.data() + f * frame_size_, frame_size_);
+  }
+  std::span<const std::byte> Frame(FrameNumber f) const {
+    LMP_CHECK(f < num_frames());
+    return std::span<const std::byte>(data_.data() + f * frame_size_,
+                                      frame_size_);
+  }
+
+  // Byte-addressed accessors; [offset, offset+len) may span frames.
+  void Read(Bytes offset, std::span<std::byte> out) const {
+    LMP_CHECK(offset + out.size() <= data_.size());
+    std::memcpy(out.data(), data_.data() + offset, out.size());
+  }
+  void Write(Bytes offset, std::span<const std::byte> in) {
+    LMP_CHECK(offset + in.size() <= data_.size());
+    std::memcpy(data_.data() + offset, in.data(), in.size());
+  }
+
+  // Grow to match a resized FrameAllocator.  Never shrinks (the allocator
+  // guarantees the shrunk tail holds no live data, so keeping the bytes is
+  // harmless and avoids invalidating outstanding spans).
+  void EnsureFrames(std::uint64_t num_frames) {
+    if (num_frames * frame_size_ > data_.size()) {
+      data_.resize(num_frames * frame_size_);
+    }
+  }
+
+ private:
+  Bytes frame_size_;
+  std::vector<std::byte> data_;
+};
+
+}  // namespace lmp::mem

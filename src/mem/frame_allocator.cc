@@ -1,0 +1,93 @@
+#include "mem/frame_allocator.h"
+
+#include <algorithm>
+
+#include "common/logging.h"
+
+namespace lmp::mem {
+
+FrameAllocator::FrameAllocator(std::uint64_t num_frames, Bytes frame_size)
+    : bitmap_(num_frames, false),
+      free_frames_(num_frames),
+      frame_size_(frame_size) {
+  LMP_CHECK(frame_size > 0);
+}
+
+StatusOr<std::vector<FrameRun>> FrameAllocator::Allocate(
+    std::uint64_t frames) {
+  if (frames == 0) return std::vector<FrameRun>{};
+  if (frames > free_frames_) {
+    return OutOfMemoryError("need " + std::to_string(frames) +
+                            " frames, only " + std::to_string(free_frames_) +
+                            " free");
+  }
+
+  std::vector<FrameRun> runs;
+  std::uint64_t remaining = frames;
+  const std::uint64_t n = bitmap_.size();
+  // Next-fit scan from the hint, wrapping once; coalesce into runs.
+  std::uint64_t scanned = 0;
+  FrameNumber pos = hint_;
+  while (remaining > 0 && scanned < n) {
+    if (!bitmap_[pos]) {
+      // Extend a run if contiguous with the previous grab.
+      if (!runs.empty() && runs.back().end() == pos) {
+        ++runs.back().count;
+      } else {
+        runs.push_back(FrameRun{pos, 1});
+      }
+      bitmap_[pos] = true;
+      --free_frames_;
+      --remaining;
+    }
+    pos = (pos + 1) % n;
+    ++scanned;
+  }
+  LMP_CHECK(remaining == 0) << "free count disagreed with bitmap";
+  hint_ = pos;
+  return runs;
+}
+
+Status FrameAllocator::Free(const std::vector<FrameRun>& runs) {
+  // Validate first so a bad request leaves state untouched.
+  for (const FrameRun& r : runs) {
+    if (r.end() > bitmap_.size()) {
+      return InvalidArgumentError("frame run out of range");
+    }
+    for (FrameNumber f = r.first; f < r.end(); ++f) {
+      if (!bitmap_[f]) return InvalidArgumentError("double free of frame");
+    }
+  }
+  for (const FrameRun& r : runs) {
+    for (FrameNumber f = r.first; f < r.end(); ++f) {
+      bitmap_[f] = false;
+      ++free_frames_;
+    }
+  }
+  return Status::Ok();
+}
+
+Status FrameAllocator::Resize(std::uint64_t new_num_frames) {
+  const std::uint64_t old = bitmap_.size();
+  if (new_num_frames >= old) {
+    bitmap_.resize(new_num_frames, false);
+    free_frames_ += new_num_frames - old;
+    return Status::Ok();
+  }
+  for (FrameNumber f = new_num_frames; f < old; ++f) {
+    if (bitmap_[f]) {
+      return FailedPreconditionError(
+          "cannot shrink: frame " + std::to_string(f) + " still allocated");
+    }
+  }
+  bitmap_.resize(new_num_frames);
+  free_frames_ -= old - new_num_frames;
+  if (hint_ >= new_num_frames) hint_ = 0;
+  return Status::Ok();
+}
+
+bool FrameAllocator::IsAllocated(FrameNumber f) const {
+  return f < bitmap_.size() && bitmap_[f];
+}
+
+}  // namespace lmp::mem

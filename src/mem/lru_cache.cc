@@ -1,0 +1,63 @@
+#include "mem/lru_cache.h"
+
+namespace lmp::mem {
+
+LruCache::LruCache(std::uint64_t capacity_pages) : capacity_(capacity_pages) {
+  LMP_CHECK(capacity_pages > 0);
+}
+
+bool LruCache::Access(PageId page, bool write) {
+  last_evicted_.reset();
+  auto it = map_.find(page);
+  if (it != map_.end()) {
+    ++stats_.hits;
+    it->second->dirty = it->second->dirty || write;
+    // Move to MRU position.
+    lru_.splice(lru_.begin(), lru_, it->second);
+    return true;
+  }
+  ++stats_.misses;
+  if (map_.size() >= capacity_) EvictOne();
+  lru_.push_front(Entry{page, write});
+  map_[page] = lru_.begin();
+  return false;
+}
+
+bool LruCache::Contains(PageId page) const { return map_.contains(page); }
+
+void LruCache::Invalidate(PageId page) {
+  auto it = map_.find(page);
+  if (it == map_.end()) return;
+  lru_.erase(it->second);
+  map_.erase(it);
+}
+
+void LruCache::Clear() {
+  lru_.clear();
+  map_.clear();
+  last_evicted_.reset();
+}
+
+std::optional<LruCache::Evicted> LruCache::TakeEvicted() {
+  auto out = last_evicted_;
+  last_evicted_.reset();
+  return out;
+}
+
+void LruCache::EvictOne() {
+  LMP_CHECK(!lru_.empty());
+  const Entry& victim = lru_.back();
+  ++stats_.evictions;
+  if (victim.dirty) ++stats_.dirty_evictions;
+  last_evicted_ = Evicted{victim.page, victim.dirty};
+  map_.erase(victim.page);
+  lru_.pop_back();
+}
+
+void LruCache::SetCapacity(std::uint64_t capacity_pages) {
+  LMP_CHECK(capacity_pages > 0);
+  capacity_ = capacity_pages;
+  while (map_.size() > capacity_) EvictOne();
+}
+
+}  // namespace lmp::mem

@@ -1,0 +1,62 @@
+// NUMA-style distance matrix between servers.
+//
+// §6 of the paper frames an LMP as a datacenter-scale NUMA system; placement
+// and migration policies consult relative distances (e.g., same rack vs.
+// cross-rack in a PBR-routed CXL 3 fabric) when several servers could host a
+// segment.  Follows the Linux SLIT convention: self distance 10, default
+// remote distance 20.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "common/logging.h"
+
+namespace lmp::mem {
+
+class NumaDistanceMatrix {
+ public:
+  explicit NumaDistanceMatrix(int num_nodes, int remote_distance = 20)
+      : n_(num_nodes),
+        dist_(static_cast<std::size_t>(num_nodes) * num_nodes,
+              remote_distance) {
+    LMP_CHECK(num_nodes > 0);
+    for (int i = 0; i < n_; ++i) At(i, i) = kSelfDistance;
+  }
+
+  static constexpr int kSelfDistance = 10;
+
+  int num_nodes() const { return n_; }
+
+  int Distance(int from, int to) const {
+    LMP_CHECK(from >= 0 && from < n_ && to >= 0 && to < n_);
+    return dist_[static_cast<std::size_t>(from) * n_ + to];
+  }
+
+  void SetDistance(int from, int to, int d) {
+    LMP_CHECK(from >= 0 && from < n_ && to >= 0 && to < n_);
+    LMP_CHECK(d >= kSelfDistance);
+    At(from, to) = d;
+    At(to, from) = d;
+  }
+
+  // The candidate nearest to `from` (ties broken by lowest index).
+  int Nearest(int from, const std::vector<int>& candidates) const {
+    LMP_CHECK(!candidates.empty());
+    int best = candidates.front();
+    for (int c : candidates) {
+      if (Distance(from, c) < Distance(from, best)) best = c;
+    }
+    return best;
+  }
+
+ private:
+  int& At(int from, int to) {
+    return dist_[static_cast<std::size_t>(from) * n_ + to];
+  }
+
+  int n_;
+  std::vector<int> dist_;
+};
+
+}  // namespace lmp::mem

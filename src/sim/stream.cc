@@ -1,0 +1,46 @@
+#include "sim/stream.h"
+
+#include "common/logging.h"
+
+namespace lmp::sim {
+
+SpanStream::SpanStream(FluidSimulator* sim, std::vector<Span> spans)
+    : sim_(sim), spans_(std::move(spans)) {
+  LMP_CHECK(sim_ != nullptr);
+  for (const Span& s : spans_) total_bytes_ += s.bytes;
+}
+
+void SpanStream::Start() {
+  LMP_CHECK(!started_) << "SpanStream started twice";
+  started_ = true;
+  start_time_ = sim_->now();
+  StartNext();
+}
+
+void SpanStream::StartNext() {
+  if (next_ >= spans_.size()) {
+    done_ = true;
+    end_time_ = sim_->now();
+    return;
+  }
+  const Span& s = spans_[next_++];
+  sim_->StartFlow(s.bytes, s.path,
+                  [this](FlowId, SimTime) { StartNext(); }, s.weight);
+}
+
+ParallelRunResult RunStreams(
+    FluidSimulator* sim, std::vector<std::unique_ptr<SpanStream>> streams) {
+  ParallelRunResult result;
+  result.start = sim->now();
+  for (auto& s : streams) s->Start();
+  sim->Run();
+  result.end = sim->now();
+  for (auto& s : streams) {
+    LMP_CHECK(s->done()) << "stream did not finish";
+    result.bytes += s->total_bytes();
+  }
+  result.gbps = ToGBps(result.bytes, result.end - result.start);
+  return result;
+}
+
+}  // namespace lmp::sim

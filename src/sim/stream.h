@@ -1,0 +1,71 @@
+// SpanStream: a sequence of dependent transfers over a FluidSimulator.
+//
+// Models one hardware context (a core, a DMA engine) working through an
+// ordered list of memory spans: span i+1 starts only when span i finishes.
+// The vector-sum microbenchmark runs 14 of these concurrently, one per core,
+// each walking its slice of the vector (local spans at DRAM speed, remote
+// spans through the fabric link).
+#pragma once
+
+#include <memory>
+#include <vector>
+
+#include "common/units.h"
+#include "sim/fluid.h"
+
+namespace lmp::sim {
+
+struct Span {
+  double bytes = 0;
+  std::vector<ResourceId> path;
+  double weight = 1.0;  // weighted max-min share under contention
+
+  friend bool operator==(const Span& a, const Span& b) {
+    return a.bytes == b.bytes && a.path == b.path && a.weight == b.weight;
+  }
+};
+
+class SpanStream {
+ public:
+  // The stream registers its own continuation callbacks with `sim`; the
+  // object must outlive the simulation run.
+  SpanStream(FluidSimulator* sim, std::vector<Span> spans);
+
+  SpanStream(const SpanStream&) = delete;
+  SpanStream& operator=(const SpanStream&) = delete;
+
+  // Begins the first span at the simulator's current time.
+  void Start();
+
+  bool done() const { return done_; }
+  SimTime start_time() const { return start_time_; }
+  SimTime end_time() const { return end_time_; }
+  double total_bytes() const { return total_bytes_; }
+
+ private:
+  void StartNext();
+
+  FluidSimulator* sim_;
+  std::vector<Span> spans_;
+  std::size_t next_ = 0;
+  bool started_ = false;
+  bool done_ = false;
+  SimTime start_time_ = 0;
+  SimTime end_time_ = 0;
+  double total_bytes_ = 0;
+};
+
+struct ParallelRunResult {
+  SimTime start = 0;
+  SimTime end = 0;
+  double bytes = 0;
+  double gbps = 0;
+};
+
+// Starts every stream at the current simulated time, runs the simulator to
+// completion, and reports the aggregate bandwidth (total bytes over the
+// makespan) — the quantity the paper's Figures 2–5 plot.
+ParallelRunResult RunStreams(FluidSimulator* sim,
+                             std::vector<std::unique_ptr<SpanStream>> streams);
+
+}  // namespace lmp::sim

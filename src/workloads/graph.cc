@@ -1,0 +1,172 @@
+#include "workloads/graph.h"
+
+#include <algorithm>
+#include <deque>
+#include <span>
+
+#include "common/logging.h"
+
+namespace lmp::workloads {
+
+StatusOr<PoolGraph> PoolGraph::FromEdges(
+    Pool* pool, std::uint32_t num_vertices,
+    const std::vector<std::pair<std::uint32_t, std::uint32_t>>& edges,
+    cluster::ServerId home) {
+  LMP_CHECK(pool != nullptr);
+  if (num_vertices == 0) return InvalidArgumentError("empty graph");
+  for (const auto& [u, v] : edges) {
+    if (u >= num_vertices || v >= num_vertices) {
+      return InvalidArgumentError("edge endpoint out of range");
+    }
+  }
+
+  // Build CSR on the host, then store into the pool.
+  std::vector<std::uint64_t> offsets(num_vertices + 1, 0);
+  for (const auto& [u, v] : edges) ++offsets[u + 1];
+  for (std::uint32_t i = 0; i < num_vertices; ++i) {
+    offsets[i + 1] += offsets[i];
+  }
+  std::vector<std::uint32_t> adjacency(edges.size());
+  std::vector<std::uint64_t> cursor(offsets.begin(), offsets.end() - 1);
+  for (const auto& [u, v] : edges) {
+    adjacency[cursor[u]++] = v;
+  }
+
+  LMP_ASSIGN_OR_RETURN(
+      core::BufferId offsets_buf,
+      pool->Allocate(offsets.size() * sizeof(std::uint64_t), home));
+  const Bytes adj_bytes =
+      std::max<Bytes>(adjacency.size() * sizeof(std::uint32_t), 1);
+  LMP_ASSIGN_OR_RETURN(core::BufferId edges_buf,
+                       pool->Allocate(adj_bytes, home));
+
+  LMP_RETURN_IF_ERROR(pool->WriteArray<std::uint64_t>(
+      home, offsets_buf, 0, std::span<const std::uint64_t>(offsets)));
+  if (!adjacency.empty()) {
+    LMP_RETURN_IF_ERROR(pool->WriteArray<std::uint32_t>(
+        home, edges_buf, 0, std::span<const std::uint32_t>(adjacency)));
+  }
+  return PoolGraph(pool, num_vertices, edges.size(), offsets_buf, edges_buf);
+}
+
+StatusOr<std::vector<std::uint64_t>> PoolGraph::LoadOffsets(
+    cluster::ServerId runner, SimTime now) {
+  std::vector<std::uint64_t> offsets(n_ + 1);
+  LMP_RETURN_IF_ERROR(pool_->ReadArray<std::uint64_t>(
+      runner, offsets_, 0, std::span<std::uint64_t>(offsets), now));
+  return offsets;
+}
+
+StatusOr<std::vector<std::uint32_t>> PoolGraph::LoadNeighbors(
+    cluster::ServerId runner, std::uint64_t begin, std::uint64_t end,
+    SimTime now) {
+  std::vector<std::uint32_t> out(end - begin);
+  if (begin == end) return out;
+  LMP_RETURN_IF_ERROR(pool_->ReadArray<std::uint32_t>(
+      runner, edges_, begin * sizeof(std::uint32_t),
+      std::span<std::uint32_t>(out), now));
+  return out;
+}
+
+StatusOr<std::vector<std::uint32_t>> PoolGraph::Bfs(cluster::ServerId runner,
+                                                    std::uint32_t source,
+                                                    SimTime now) {
+  if (source >= n_) return InvalidArgumentError("source out of range");
+  LMP_ASSIGN_OR_RETURN(auto offsets, LoadOffsets(runner, now));
+
+  std::vector<std::uint32_t> depth(n_, UINT32_MAX);
+  depth[source] = 0;
+  std::deque<std::uint32_t> frontier{source};
+  while (!frontier.empty()) {
+    const std::uint32_t u = frontier.front();
+    frontier.pop_front();
+    LMP_ASSIGN_OR_RETURN(
+        auto neighbors,
+        LoadNeighbors(runner, offsets[u], offsets[u + 1], now));
+    for (std::uint32_t v : neighbors) {
+      if (depth[v] == UINT32_MAX) {
+        depth[v] = depth[u] + 1;
+        frontier.push_back(v);
+      }
+    }
+  }
+  return depth;
+}
+
+StatusOr<std::vector<double>> PoolGraph::PageRank(cluster::ServerId runner,
+                                                  int iterations,
+                                                  double damping,
+                                                  bool shipped, SimTime now) {
+  LMP_ASSIGN_OR_RETURN(auto offsets, LoadOffsets(runner, now));
+  std::vector<double> rank(n_, 1.0 / n_);
+  std::vector<double> next(n_, 0.0);
+
+  for (int it = 0; it < iterations; ++it) {
+    // Dangling (zero out-degree) vertices redistribute their mass
+    // uniformly, so total rank is conserved at 1.
+    double sink_mass = 0;
+    for (std::uint32_t u = 0; u < n_; ++u) {
+      if (offsets[u + 1] == offsets[u]) sink_mass += rank[u];
+    }
+    std::fill(next.begin(), next.end(),
+              (1.0 - damping) / n_ + damping * sink_mass / n_);
+    // Contribution of u to each out-neighbor v: damping * rank[u]/deg(u).
+    auto scan = [&](std::uint32_t u,
+                    std::span<const std::uint32_t> neighbors) {
+      const auto deg = static_cast<double>(neighbors.size());
+      if (deg == 0) return;
+      const double share = damping * rank[u] / deg;
+      for (std::uint32_t v : neighbors) next[v] += share;
+    };
+
+    if (!shipped) {
+      for (std::uint32_t u = 0; u < n_; ++u) {
+        LMP_ASSIGN_OR_RETURN(
+            auto neighbors,
+            LoadNeighbors(runner, offsets[u], offsets[u + 1], now));
+        scan(u, neighbors);
+      }
+    } else {
+      // Walk the adjacency via compute shipping: each hosting server scans
+      // its own local share.  The chunk's buffer offset positions it in the
+      // global edge array, from which the source vertex is recovered by
+      // binary search over the CSR offsets.
+      LMP_ASSIGN_OR_RETURN(
+          double total,
+          pool_->shipper().ShipAndReduce(
+              edges_, 0, m_ * sizeof(std::uint32_t),
+              [&](cluster::ServerId, Bytes chunk_off,
+                  std::span<const std::byte> chunk) {
+                const auto* vals =
+                    reinterpret_cast<const std::uint32_t*>(chunk.data());
+                const std::size_t cnt = chunk.size() / sizeof(std::uint32_t);
+                std::uint64_t edge = chunk_off / sizeof(std::uint32_t);
+                // First source vertex whose range contains `edge`.
+                auto bound = std::upper_bound(offsets.begin(),
+                                              offsets.end(), edge);
+                auto u = static_cast<std::uint32_t>(
+                    (bound - offsets.begin()) - 1);
+                for (std::size_t i = 0; i < cnt; ++i, ++edge) {
+                  while (u + 1 < offsets.size() && edge >= offsets[u + 1]) {
+                    ++u;
+                  }
+                  const double deg =
+                      static_cast<double>(offsets[u + 1] - offsets[u]);
+                  next[vals[i]] += damping * rank[u] / deg;
+                }
+                return 0.0;
+              },
+              now));
+      (void)total;
+    }
+    rank.swap(next);
+  }
+  return rank;
+}
+
+Status PoolGraph::Release() {
+  LMP_RETURN_IF_ERROR(pool_->Free(offsets_));
+  return pool_->Free(edges_);
+}
+
+}  // namespace lmp::workloads

@@ -1,0 +1,65 @@
+// PoolGraph: CSR graph analytics over the logical pool.
+//
+// Stores a directed graph in two pool buffers (offsets + adjacency) and
+// runs BFS and PageRank against them.  PageRank has a shipped variant that
+// computes each partition's rank contributions at the server hosting that
+// part of the adjacency — the graph-analytics face of §4.4's near-memory
+// computing.
+#pragma once
+
+#include <cstdint>
+#include <utility>
+#include <vector>
+
+#include "common/status.h"
+#include "core/lmp.h"
+
+namespace lmp::workloads {
+
+class PoolGraph {
+ public:
+  // Builds CSR from an edge list over vertices [0, num_vertices).
+  static StatusOr<PoolGraph> FromEdges(
+      Pool* pool, std::uint32_t num_vertices,
+      const std::vector<std::pair<std::uint32_t, std::uint32_t>>& edges,
+      cluster::ServerId home);
+
+  // Level-synchronous BFS from `source`; returns per-vertex depth
+  // (UINT32_MAX when unreachable).
+  StatusOr<std::vector<std::uint32_t>> Bfs(cluster::ServerId runner,
+                                           std::uint32_t source,
+                                           SimTime now = 0);
+
+  // Power-iteration PageRank.  When `shipped`, each hosting server scans
+  // its local share of the adjacency.
+  StatusOr<std::vector<double>> PageRank(cluster::ServerId runner,
+                                         int iterations, double damping,
+                                         bool shipped, SimTime now = 0);
+
+  std::uint32_t num_vertices() const { return n_; }
+  std::uint64_t num_edges() const { return m_; }
+  core::BufferId offsets_buffer() const { return offsets_; }
+  core::BufferId edges_buffer() const { return edges_; }
+
+  Status Release();
+
+ private:
+  PoolGraph(Pool* pool, std::uint32_t n, std::uint64_t m,
+            core::BufferId offsets, core::BufferId edges)
+      : pool_(pool), n_(n), m_(m), offsets_(offsets), edges_(edges) {}
+
+  StatusOr<std::vector<std::uint64_t>> LoadOffsets(cluster::ServerId runner,
+                                                   SimTime now);
+  StatusOr<std::vector<std::uint32_t>> LoadNeighbors(cluster::ServerId runner,
+                                                     std::uint64_t begin,
+                                                     std::uint64_t end,
+                                                     SimTime now);
+
+  Pool* pool_ = nullptr;
+  std::uint32_t n_ = 0;
+  std::uint64_t m_ = 0;
+  core::BufferId offsets_ = core::kInvalidBuffer;
+  core::BufferId edges_ = core::kInvalidBuffer;
+};
+
+}  // namespace lmp::workloads

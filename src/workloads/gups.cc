@@ -1,0 +1,45 @@
+#include "workloads/gups.h"
+
+namespace lmp::workloads {
+
+StatusOr<Gups> Gups::Create(Pool* pool, std::uint64_t count,
+                            cluster::ServerId home) {
+  LMP_ASSIGN_OR_RETURN(auto table, TypedBuffer<std::uint64_t>::Create(
+                                       pool, count, home));
+  return Gups(std::move(table));
+}
+
+StatusOr<std::uint64_t> Gups::Run(cluster::ServerId runner,
+                                  std::uint64_t updates, std::uint64_t seed,
+                                  SimTime now) {
+  Rng rng(seed);
+  std::uint64_t digest = 0;
+  for (std::uint64_t i = 0; i < updates; ++i) {
+    const std::uint64_t index = rng.NextBounded(table_.size());
+    const std::uint64_t delta = rng.Next();
+    LMP_ASSIGN_OR_RETURN(std::uint64_t value,
+                         table_.At(runner, index, now));
+    digest ^= value;
+    LMP_RETURN_IF_ERROR(table_.Set(runner, index, value ^ delta, now));
+  }
+  return digest;
+}
+
+StatusOr<bool> Gups::Verify(cluster::ServerId runner, std::uint64_t updates,
+                            std::uint64_t seed) {
+  // Recompute the expected final state on the host and compare.
+  std::vector<std::uint64_t> mirror(table_.size(), 0);
+  {
+    Rng rng(seed);
+    for (std::uint64_t i = 0; i < updates; ++i) {
+      const std::uint64_t index = rng.NextBounded(table_.size());
+      mirror[index] ^= rng.Next();
+    }
+  }
+  std::vector<std::uint64_t> actual(table_.size());
+  LMP_RETURN_IF_ERROR(
+      table_.ReadRange(runner, 0, std::span<std::uint64_t>(actual)));
+  return actual == mirror;
+}
+
+}  // namespace lmp::workloads

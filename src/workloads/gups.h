@@ -1,0 +1,72 @@
+// GUPS-style random-access workload (giga-updates per second).
+//
+// The vector sum is bandwidth-bound; pointer-chasing workloads are
+// LATENCY-bound — each core has one dependent access in flight, so
+// throughput is cores / average-access-latency.  This is where §4.3's
+// loaded-latency ratios (2.8x/3.6x) turn directly into application
+// throughput, and where software paging (µs faults) collapses.
+//
+// Functional layer: real random read-modify-writes over a TypedBuffer
+// (correctness + hotness).  Timing layer: ThroughputModel composes the
+// deployment's locality mix with the loaded-latency curves.
+#pragma once
+
+#include <cstdint>
+
+#include "common/rng.h"
+#include "common/status.h"
+#include "core/typed_buffer.h"
+#include "fabric/link.h"
+
+namespace lmp::workloads {
+
+class Gups {
+ public:
+  // Allocates a table of `count` u64 cells in the pool.
+  static StatusOr<Gups> Create(Pool* pool, std::uint64_t count,
+                               cluster::ServerId home);
+
+  // Performs `updates` random XOR read-modify-writes from `runner`.
+  // Returns the XOR of all values read (a self-checking digest).
+  StatusOr<std::uint64_t> Run(cluster::ServerId runner,
+                              std::uint64_t updates, std::uint64_t seed,
+                              SimTime now = 0);
+
+  // Verifies the table against a replayed update sequence.
+  StatusOr<bool> Verify(cluster::ServerId runner, std::uint64_t updates,
+                        std::uint64_t seed);
+
+  TypedBuffer<std::uint64_t>& table() { return table_; }
+  Status Release() { return table_.Release(); }
+
+ private:
+  explicit Gups(TypedBuffer<std::uint64_t> table)
+      : table_(std::move(table)) {}
+
+  TypedBuffer<std::uint64_t> table_;
+};
+
+// Timing model for dependent random access: one outstanding access per
+// core (no MLP — the pessimistic bound the paper's latency discussion
+// implies).  Throughput in updates/s for a table with `local_fraction`
+// resolving locally and the rest over `link`, under full load.
+struct GupsThroughputModel {
+  int cores = 14;
+  double local_fraction = 0;
+  fabric::LinkProfile local = fabric::LinkProfile::LocalDram();
+  fabric::LinkProfile link = fabric::LinkProfile::Link0();
+  // Extra per-access software cost (0 for CXL; ~fault cost for paging).
+  SimTime software_overhead_ns = 0;
+
+  double AvgLatencyNs() const {
+    const double local_ns = local.LoadedLatency(1.0);
+    const double remote_ns =
+        link.LoadedLatency(1.0) + software_overhead_ns;
+    return local_fraction * local_ns +
+           (1.0 - local_fraction) * remote_ns;
+  }
+  // Million updates per second across all cores.
+  double Mups() const { return cores * 1e3 / AvgLatencyNs(); }
+};
+
+}  // namespace lmp::workloads

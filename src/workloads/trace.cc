@@ -1,0 +1,113 @@
+#include "workloads/trace.h"
+
+#include <algorithm>
+
+#include "common/logging.h"
+
+namespace lmp::workloads {
+
+Trace TraceGenerator::Sequential(cluster::ServerId from,
+                                 std::uint32_t buffer, Bytes buffer_bytes,
+                                 Bytes chunk) {
+  LMP_CHECK(chunk > 0);
+  Trace trace;
+  for (Bytes off = 0; off < buffer_bytes; off += chunk) {
+    trace.push_back(TraceOp{from, buffer, off,
+                            std::min(chunk, buffer_bytes - off), false});
+  }
+  return trace;
+}
+
+Trace TraceGenerator::Strided(cluster::ServerId from, std::uint32_t buffer,
+                              Bytes buffer_bytes, Bytes chunk, int stride) {
+  LMP_CHECK(chunk > 0 && stride > 0);
+  Trace trace;
+  for (Bytes off = 0; off < buffer_bytes;
+       off += chunk * static_cast<Bytes>(stride)) {
+    trace.push_back(TraceOp{from, buffer, off,
+                            std::min(chunk, buffer_bytes - off), false});
+  }
+  return trace;
+}
+
+Trace TraceGenerator::UniformRandom(cluster::ServerId from,
+                                    std::uint32_t buffer, Bytes buffer_bytes,
+                                    Bytes chunk, std::size_t count,
+                                    std::uint64_t seed) {
+  LMP_CHECK(chunk > 0 && chunk <= buffer_bytes);
+  Rng rng(seed);
+  const Bytes slots = buffer_bytes / chunk;
+  Trace trace;
+  trace.reserve(count);
+  for (std::size_t i = 0; i < count; ++i) {
+    const Bytes off = rng.NextBounded(slots) * chunk;
+    trace.push_back(TraceOp{from, buffer, off, chunk, false});
+  }
+  return trace;
+}
+
+Trace TraceGenerator::ZipfOverBuffers(cluster::ServerId from,
+                                      std::uint32_t num_buffers,
+                                      Bytes buffer_bytes, Bytes chunk,
+                                      double theta, std::size_t count,
+                                      std::uint64_t seed) {
+  LMP_CHECK(num_buffers > 0 && chunk > 0 && chunk <= buffer_bytes);
+  ZipfGenerator buffer_zipf(num_buffers, theta, seed);
+  ZipfGenerator chunk_zipf(std::max<Bytes>(buffer_bytes / chunk, 1), theta,
+                           seed ^ 0x9e3779b9);
+  Trace trace;
+  trace.reserve(count);
+  for (std::size_t i = 0; i < count; ++i) {
+    trace.push_back(TraceOp{
+        from, static_cast<std::uint32_t>(buffer_zipf.Next()),
+        chunk_zipf.Next() * chunk, chunk, false});
+  }
+  return trace;
+}
+
+Trace TraceGenerator::Interleave(const std::vector<Trace>& traces) {
+  Trace out;
+  std::size_t total = 0;
+  for (const Trace& t : traces) total += t.size();
+  out.reserve(total);
+  for (std::size_t i = 0; out.size() < total; ++i) {
+    for (const Trace& t : traces) {
+      if (i < t.size()) out.push_back(t[i]);
+    }
+  }
+  return out;
+}
+
+TraceReplayer::TraceReplayer(core::PoolManager* manager,
+                             std::vector<core::BufferId> buffers)
+    : manager_(manager), buffers_(std::move(buffers)) {
+  LMP_CHECK(manager != nullptr);
+}
+
+StatusOr<ReplayStats> TraceReplayer::Replay(const Trace& trace,
+                                            SimTime start, SimTime op_gap) {
+  ReplayStats stats;
+  SimTime now = start;
+  for (const TraceOp& op : trace) {
+    if (op.buffer_index >= buffers_.size()) {
+      return InvalidArgumentError("trace references unknown buffer");
+    }
+    const core::BufferId buffer = buffers_[op.buffer_index];
+    LMP_ASSIGN_OR_RETURN(auto spans,
+                         manager_->Spans(buffer, op.offset, op.length));
+    for (const core::LocatedSpan& s : spans) {
+      if (!s.location.is_pool() && s.location.server == op.from) {
+        stats.local_bytes += static_cast<double>(s.bytes);
+      } else {
+        stats.remote_bytes += static_cast<double>(s.bytes);
+      }
+    }
+    LMP_RETURN_IF_ERROR(
+        manager_->Touch(op.from, buffer, op.offset, op.length, now));
+    ++stats.ops;
+    now += op_gap;
+  }
+  return stats;
+}
+
+}  // namespace lmp::workloads

@@ -1,0 +1,85 @@
+// Synthetic access traces: generators for the canonical patterns
+// (sequential, strided, uniform-random, Zipf) and a replayer that drives a
+// PoolManager, reporting the locality split the trace experienced.
+//
+// Traces decouple workload shape from execution: the same trace can be
+// replayed before and after a balancing round, against different placement
+// policies, or at different private/shared splits — which is how the
+// runtime-policy experiments stay comparable.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "cluster/server.h"
+#include "common/rng.h"
+#include "common/status.h"
+#include "common/units.h"
+#include "core/pool_manager.h"
+
+namespace lmp::workloads {
+
+struct TraceOp {
+  cluster::ServerId from = 0;
+  std::uint32_t buffer_index = 0;  // into the replayer's buffer list
+  Bytes offset = 0;
+  Bytes length = 0;
+  bool is_write = false;
+};
+
+using Trace = std::vector<TraceOp>;
+
+class TraceGenerator {
+ public:
+  // A full sequential sweep of `buffer_bytes` in `chunk` units.
+  static Trace Sequential(cluster::ServerId from, std::uint32_t buffer,
+                          Bytes buffer_bytes, Bytes chunk);
+
+  // Every `stride`-th chunk (TLB/prefetcher-hostile pattern).
+  static Trace Strided(cluster::ServerId from, std::uint32_t buffer,
+                       Bytes buffer_bytes, Bytes chunk, int stride);
+
+  // `count` uniform-random chunks across the buffer.
+  static Trace UniformRandom(cluster::ServerId from, std::uint32_t buffer,
+                             Bytes buffer_bytes, Bytes chunk,
+                             std::size_t count, std::uint64_t seed);
+
+  // `count` Zipf-distributed chunk reads over a set of buffers (hot-key
+  // workload): the chunk index within buffer b is also zipfian.
+  static Trace ZipfOverBuffers(cluster::ServerId from,
+                               std::uint32_t num_buffers, Bytes buffer_bytes,
+                               Bytes chunk, double theta, std::size_t count,
+                               std::uint64_t seed);
+
+  // Interleaves traces round-robin (concurrent clients approximation).
+  static Trace Interleave(const std::vector<Trace>& traces);
+};
+
+struct ReplayStats {
+  std::uint64_t ops = 0;
+  double local_bytes = 0;
+  double remote_bytes = 0;
+
+  double Total() const { return local_bytes + remote_bytes; }
+  double LocalFraction() const {
+    return Total() == 0 ? 1.0 : local_bytes / Total();
+  }
+};
+
+class TraceReplayer {
+ public:
+  // `buffers[i]` backs buffer_index i in the trace ops.
+  TraceReplayer(core::PoolManager* manager,
+                std::vector<core::BufferId> buffers);
+
+  // Replays ops via Touch (hotness recorded; works without backing).
+  // Advances simulated time by `op_gap` per op starting at `start`.
+  StatusOr<ReplayStats> Replay(const Trace& trace, SimTime start = 0,
+                               SimTime op_gap = 0);
+
+ private:
+  core::PoolManager* manager_;
+  std::vector<core::BufferId> buffers_;
+};
+
+}  // namespace lmp::workloads

@@ -1,0 +1,71 @@
+#include "workloads/vector_sum.h"
+
+#include <span>
+#include <vector>
+
+#include "common/logging.h"
+
+namespace lmp::workloads {
+
+StatusOr<VectorSum> VectorSum::Create(Pool* pool, std::uint64_t count,
+                                      cluster::ServerId home) {
+  LMP_CHECK(pool != nullptr);
+  if (count == 0) return InvalidArgumentError("empty vector");
+  LMP_ASSIGN_OR_RETURN(core::BufferId buffer,
+                       pool->Allocate(count * sizeof(double), home));
+  return VectorSum(pool, buffer, count);
+}
+
+Status VectorSum::FillLinear(cluster::ServerId writer, double scale) {
+  // Write in modest batches to keep scratch memory bounded.
+  constexpr std::uint64_t kBatch = 64 * 1024;
+  std::vector<double> batch;
+  for (std::uint64_t start = 0; start < count_; start += kBatch) {
+    const std::uint64_t n = std::min(kBatch, count_ - start);
+    batch.resize(n);
+    for (std::uint64_t i = 0; i < n; ++i) {
+      batch[i] = scale * static_cast<double>(start + i);
+    }
+    LMP_RETURN_IF_ERROR(pool_->WriteArray<double>(
+        writer, buffer_, start * sizeof(double),
+        std::span<const double>(batch)));
+  }
+  return Status::Ok();
+}
+
+double VectorSum::ExpectedLinearSum(double scale) const {
+  const double n = static_cast<double>(count_);
+  return scale * n * (n - 1) / 2.0;
+}
+
+StatusOr<double> VectorSum::SumFrom(cluster::ServerId runner, SimTime now) {
+  constexpr std::uint64_t kBatch = 64 * 1024;
+  std::vector<double> batch;
+  double sum = 0;
+  for (std::uint64_t start = 0; start < count_; start += kBatch) {
+    const std::uint64_t n = std::min(kBatch, count_ - start);
+    batch.resize(n);
+    LMP_RETURN_IF_ERROR(pool_->ReadArray<double>(
+        runner, buffer_, start * sizeof(double), std::span<double>(batch),
+        now));
+    for (double v : batch) sum += v;
+  }
+  return sum;
+}
+
+StatusOr<double> VectorSum::SumShipped(SimTime now) {
+  return pool_->shipper().ShipAndReduce(
+      buffer_, 0, count_ * sizeof(double),
+      [](cluster::ServerId, Bytes, std::span<const std::byte> chunk) {
+        double partial = 0;
+        const auto* values = reinterpret_cast<const double*>(chunk.data());
+        const std::size_t n = chunk.size() / sizeof(double);
+        for (std::size_t i = 0; i < n; ++i) partial += values[i];
+        return partial;
+      },
+      now);
+}
+
+Status VectorSum::Release() { return pool_->Free(buffer_); }
+
+}  // namespace lmp::workloads

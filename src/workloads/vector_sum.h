@@ -1,0 +1,51 @@
+// Functional vector-sum workload over a real lmp::Pool.
+//
+// The timing-layer twin of this lives in baselines/ (it drives the fluid
+// simulator at paper scale).  This one operates on real doubles in a
+// backed pool, so tests can verify numerical correctness end-to-end:
+// allocate, fill, sum single-server, sum with compute shipping, and check
+// both equal the analytically known total.
+#pragma once
+
+#include <cstdint>
+
+#include "common/status.h"
+#include "common/units.h"
+#include "core/lmp.h"
+
+namespace lmp::workloads {
+
+class VectorSum {
+ public:
+  // Allocates a vector of `count` doubles in `pool`, preferring `home`.
+  static StatusOr<VectorSum> Create(Pool* pool, std::uint64_t count,
+                                    cluster::ServerId home);
+
+  // Fills with values v[i] = f(i) written by `writer`.
+  Status FillLinear(cluster::ServerId writer, double scale = 1.0);
+
+  // Expected sum for FillLinear(scale): scale * n(n-1)/2.
+  double ExpectedLinearSum(double scale = 1.0) const;
+
+  // Single-server sum: `runner` reads the whole vector (remote pieces
+  // cross the fabric and are recorded as remote accesses).
+  StatusOr<double> SumFrom(cluster::ServerId runner, SimTime now = 0);
+
+  // Near-memory sum: shipped to each hosting server (§4.4).
+  StatusOr<double> SumShipped(SimTime now = 0);
+
+  core::BufferId buffer() const { return buffer_; }
+  std::uint64_t count() const { return count_; }
+
+  Status Release();
+
+ private:
+  VectorSum(Pool* pool, core::BufferId buffer, std::uint64_t count)
+      : pool_(pool), buffer_(buffer), count_(count) {}
+
+  Pool* pool_;
+  core::BufferId buffer_;
+  std::uint64_t count_;
+};
+
+}  // namespace lmp::workloads

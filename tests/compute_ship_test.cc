@@ -1,0 +1,131 @@
+// Tests for ComputeShipper: planning by home server and functional
+// map-reduce locality.
+#include <gtest/gtest.h>
+
+#include "core/compute_ship.h"
+#include "core/pool_manager.h"
+
+namespace lmp::core {
+namespace {
+
+cluster::ClusterConfig Config() {
+  cluster::ClusterConfig config;
+  config.num_servers = 4;
+  config.server_total_memory = MiB(4);
+  config.server_shared_memory = MiB(4);
+  config.frame_size = KiB(4);
+  config.with_backing = true;
+  return config;
+}
+
+class ComputeShipTest : public ::testing::Test {
+ protected:
+  ComputeShipTest()
+      : cluster_(Config()), manager_(&cluster_), shipper_(&manager_) {}
+  cluster::Cluster cluster_;
+  PoolManager manager_;
+  ComputeShipper shipper_;
+};
+
+TEST_F(ComputeShipTest, SingleServerBufferHasOneSubtask) {
+  auto buf = manager_.Allocate(MiB(1), 2);
+  ASSERT_TRUE(buf.ok());
+  auto plan = shipper_.Plan(*buf, 0, MiB(1), 0);
+  ASSERT_TRUE(plan.ok());
+  ASSERT_EQ(plan->subtasks.size(), 1u);
+  EXPECT_EQ(plan->subtasks[0].server, 2u);
+  EXPECT_EQ(plan->subtasks[0].bytes, MiB(1));
+  // Requester 0 would have pulled everything remotely.
+  EXPECT_EQ(plan->remote_bytes_unshipped, MiB(1));
+}
+
+TEST_F(ComputeShipTest, SpanningBufferSplitsByHome) {
+  auto buf = manager_.Allocate(MiB(10), 0);  // 4 + 4 + 2 across servers
+  ASSERT_TRUE(buf.ok());
+  auto plan = shipper_.Plan(*buf, 0, MiB(10), 0);
+  ASSERT_TRUE(plan.ok());
+  EXPECT_EQ(plan->subtasks.size(), 3u);
+  Bytes total = 0;
+  for (const auto& t : plan->subtasks) total += t.bytes;
+  EXPECT_EQ(total, MiB(10));
+  // 6 MiB live on peers from the requester's perspective.
+  EXPECT_EQ(plan->remote_bytes_unshipped, MiB(6));
+}
+
+TEST_F(ComputeShipTest, RequesterPerspectiveChangesRemoteBytes) {
+  auto buf = manager_.Allocate(MiB(8), 1);  // 4 on server1 + 4 elsewhere
+  ASSERT_TRUE(buf.ok());
+  auto from_owner = shipper_.Plan(*buf, 0, MiB(8), 1);
+  auto from_peer = shipper_.Plan(*buf, 0, MiB(8), 3);
+  ASSERT_TRUE(from_owner.ok() && from_peer.ok());
+  EXPECT_LT(from_owner->remote_bytes_unshipped,
+            from_peer->remote_bytes_unshipped);
+}
+
+TEST_F(ComputeShipTest, ShipAndReduceSumsCorrectly) {
+  auto buf = manager_.Allocate(MiB(8), 0);  // spans two servers
+  ASSERT_TRUE(buf.ok());
+  // Write a run of 1.0 doubles through the front and back.
+  const std::size_t count = MiB(8) / sizeof(double);
+  std::vector<double> ones(64 * 1024, 1.0);
+  for (std::size_t start = 0; start < count; start += ones.size()) {
+    const std::size_t n = std::min(ones.size(), count - start);
+    ASSERT_TRUE(manager_
+                    .Write(0, *buf, start * sizeof(double),
+                           std::as_bytes(std::span<const double>(
+                               ones.data(), n)))
+                    .ok());
+  }
+  auto sum = shipper_.ShipAndReduce(
+      *buf, 0, MiB(8),
+      [](cluster::ServerId, Bytes, std::span<const std::byte> chunk) {
+        double acc = 0;
+        const auto* v = reinterpret_cast<const double*>(chunk.data());
+        for (std::size_t i = 0; i < chunk.size() / sizeof(double); ++i) {
+          acc += v[i];
+        }
+        return acc;
+      });
+  ASSERT_TRUE(sum.ok());
+  EXPECT_DOUBLE_EQ(*sum, static_cast<double>(count));
+}
+
+TEST_F(ComputeShipTest, ShippedAccessesAreLocalInHotnessProfile) {
+  auto buf = manager_.Allocate(MiB(8), 0);
+  ASSERT_TRUE(buf.ok());
+  ASSERT_TRUE(shipper_
+                  .ShipAndReduce(*buf, 0, MiB(8),
+                                 [](cluster::ServerId, Bytes,
+                                    std::span<const std::byte>) {
+                                   return 0.0;
+                                 })
+                  .ok());
+  // Every segment's dominant accessor must be its own home server.  (Bind
+  // the StatusOr first: range-for over a temporary's member dangles.)
+  const auto info = manager_.Describe(*buf);
+  ASSERT_TRUE(info.ok());
+  for (SegmentId seg : info->segments) {
+    AccessTracker::DominantAccessor dom;
+    ASSERT_TRUE(manager_.access_tracker().Dominant(seg, 0, &dom));
+    const SegmentInfo* seg_info = manager_.segment_map().Find(seg);
+    EXPECT_EQ(dom.server, seg_info->home.server);
+    EXPECT_DOUBLE_EQ(dom.share, 1.0);
+  }
+}
+
+TEST_F(ComputeShipTest, SubRangePlansOnlyThatRange) {
+  auto buf = manager_.Allocate(MiB(8), 0);
+  ASSERT_TRUE(buf.ok());
+  auto plan = shipper_.Plan(*buf, MiB(5), MiB(2), 0);
+  ASSERT_TRUE(plan.ok());
+  EXPECT_EQ(plan->total_bytes, MiB(2));
+  ASSERT_EQ(plan->subtasks.size(), 1u);  // fully inside the second chunk
+  EXPECT_NE(plan->subtasks[0].server, 0u);
+}
+
+TEST_F(ComputeShipTest, UnknownBufferRejected) {
+  EXPECT_FALSE(shipper_.Plan(999, 0, 1, 0).ok());
+}
+
+}  // namespace
+}  // namespace lmp::core

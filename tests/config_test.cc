@@ -1,0 +1,93 @@
+// Tests for the key=value Config parser and typed getters.
+#include <gtest/gtest.h>
+
+#include "common/config.h"
+
+namespace lmp {
+namespace {
+
+TEST(ConfigTest, ParsesPairs) {
+  auto config = Config::Parse("a=1 b=hello  c=2.5");
+  ASSERT_TRUE(config.ok());
+  EXPECT_EQ(config->size(), 3u);
+  EXPECT_EQ(*config->GetInt("a"), 1);
+  EXPECT_EQ(*config->GetString("b"), "hello");
+  EXPECT_DOUBLE_EQ(*config->GetDouble("c"), 2.5);
+}
+
+TEST(ConfigTest, CommentsAndNewlines) {
+  auto config = Config::Parse(
+      "# header comment\n"
+      "x=1  # trailing comment\n"
+      "y=2\n");
+  ASSERT_TRUE(config.ok());
+  EXPECT_EQ(*config->GetInt("x"), 1);
+  EXPECT_EQ(*config->GetInt("y"), 2);
+  EXPECT_EQ(config->size(), 2u);
+}
+
+TEST(ConfigTest, MalformedTokenRejected) {
+  EXPECT_FALSE(Config::Parse("novalue").ok());
+  EXPECT_FALSE(Config::Parse("=5").ok());
+}
+
+TEST(ConfigTest, FromArgsSkipsArgv0) {
+  const char* argv[] = {"prog", "k=v", "n=7"};
+  auto config = Config::FromArgs(3, argv);
+  ASSERT_TRUE(config.ok());
+  EXPECT_EQ(*config->GetString("k"), "v");
+  EXPECT_EQ(*config->GetInt("n"), 7);
+}
+
+TEST(ConfigTest, FallbacksWhenAbsent) {
+  Config config;
+  EXPECT_EQ(*config.GetInt("missing", 42), 42);
+  EXPECT_EQ(*config.GetString("missing", "dflt"), "dflt");
+  EXPECT_TRUE(*config.GetBool("missing", true));
+  EXPECT_EQ(*config.GetBytes("missing", MiB(3)), MiB(3));
+}
+
+TEST(ConfigTest, MalformedValuesError) {
+  auto config = Config::Parse("n=abc d=1.2.3 b=perhaps s=9q");
+  ASSERT_TRUE(config.ok());
+  EXPECT_FALSE(config->GetInt("n").ok());
+  EXPECT_FALSE(config->GetDouble("d").ok());
+  EXPECT_FALSE(config->GetBool("b").ok());
+  EXPECT_FALSE(config->GetBytes("s").ok());
+}
+
+TEST(ConfigTest, BoolSpellings) {
+  auto config = Config::Parse("a=true b=0 c=YES d=off");
+  ASSERT_TRUE(config.ok());
+  EXPECT_TRUE(*config->GetBool("a"));
+  EXPECT_FALSE(*config->GetBool("b"));
+  EXPECT_TRUE(*config->GetBool("c"));
+  EXPECT_FALSE(*config->GetBool("d"));
+}
+
+TEST(ConfigTest, ByteSuffixes) {
+  auto config = Config::Parse("a=64 b=4k c=16m d=2g");
+  ASSERT_TRUE(config.ok());
+  EXPECT_EQ(*config->GetBytes("a"), 64u);
+  EXPECT_EQ(*config->GetBytes("b"), KiB(4));
+  EXPECT_EQ(*config->GetBytes("c"), MiB(16));
+  EXPECT_EQ(*config->GetBytes("d"), GiB(2));
+}
+
+TEST(ConfigTest, LaterSetWins) {
+  auto config = Config::Parse("k=1 k=2");
+  ASSERT_TRUE(config.ok());
+  EXPECT_EQ(*config->GetInt("k"), 2);
+}
+
+TEST(ConfigTest, ToStringRoundTrips) {
+  auto config = Config::Parse("b=2 a=1");
+  ASSERT_TRUE(config.ok());
+  auto reparsed = Config::Parse(config->ToString());
+  ASSERT_TRUE(reparsed.ok());
+  EXPECT_EQ(*reparsed->GetInt("a"), 1);
+  EXPECT_EQ(*reparsed->GetInt("b"), 2);
+}
+
+}  // namespace
+}  // namespace lmp

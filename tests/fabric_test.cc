@@ -1,0 +1,161 @@
+// Tests for fabric/: link profiles calibrated from Tables 1–2, the
+// load-latency curve, and topology resource paths.
+#include <gtest/gtest.h>
+
+#include "fabric/link.h"
+#include "fabric/topology.h"
+#include "sim/fluid.h"
+
+namespace lmp::fabric {
+namespace {
+
+// --- LinkProfile calibration (paper Tables 1 and 2) -------------------------
+
+TEST(LinkProfileTest, Link0MatchesTable2) {
+  const LinkProfile link = LinkProfile::Link0();
+  EXPECT_DOUBLE_EQ(link.min_latency_ns, 163.0);
+  EXPECT_DOUBLE_EQ(link.max_latency_ns, 418.0);
+  EXPECT_DOUBLE_EQ(link.bandwidth, GBps(34.5));
+}
+
+TEST(LinkProfileTest, Link1MatchesTable2) {
+  const LinkProfile link = LinkProfile::Link1();
+  EXPECT_DOUBLE_EQ(link.min_latency_ns, 261.0);
+  EXPECT_DOUBLE_EQ(link.max_latency_ns, 527.0);
+  EXPECT_DOUBLE_EQ(link.bandwidth, GBps(21.0));
+}
+
+TEST(LinkProfileTest, CxlProfilesMatchTable1) {
+  EXPECT_DOUBLE_EQ(LinkProfile::PondCxl().min_latency_ns, 280.0);
+  EXPECT_DOUBLE_EQ(LinkProfile::PondCxl().bandwidth, GBps(31.0));
+  EXPECT_DOUBLE_EQ(LinkProfile::FpgaCxl().min_latency_ns, 303.0);
+  EXPECT_DOUBLE_EQ(LinkProfile::FpgaCxl().bandwidth, GBps(20.0));
+  EXPECT_DOUBLE_EQ(LinkProfile::LocalDram().min_latency_ns, 82.0);
+  EXPECT_DOUBLE_EQ(LinkProfile::LocalDram().bandwidth, GBps(97.0));
+}
+
+TEST(LinkProfileTest, LoadedLatencyEndpoints) {
+  const LinkProfile link = LinkProfile::Link0();
+  EXPECT_DOUBLE_EQ(link.LoadedLatency(0.0), 163.0);
+  EXPECT_DOUBLE_EQ(link.LoadedLatency(1.0), 418.0);
+}
+
+TEST(LinkProfileTest, LoadedLatencyMonotoneAndConvex) {
+  const LinkProfile link = LinkProfile::Link1();
+  double prev = 0, prev_slope = 0;
+  for (int i = 0; i <= 10; ++i) {
+    const double u = i / 10.0;
+    const double lat = link.LoadedLatency(u);
+    EXPECT_GE(lat, prev);
+    if (i >= 2) {
+      const double slope = lat - prev;
+      EXPECT_GE(slope, prev_slope - 1e-9);  // convex: slope non-decreasing
+      prev_slope = slope;
+    } else if (i == 1) {
+      prev_slope = lat - prev;
+    }
+    prev = lat;
+  }
+}
+
+TEST(LinkProfileTest, LoadedLatencyClampsOutOfRange) {
+  const LinkProfile link = LinkProfile::Link0();
+  EXPECT_DOUBLE_EQ(link.LoadedLatency(-1.0), 163.0);
+  EXPECT_DOUBLE_EQ(link.LoadedLatency(2.0), 418.0);
+}
+
+// §4.3: the paper quotes max loaded remote latency as 2.8x (Link0) and
+// 3.6x (Link1) max loaded local latency.  Check the derived local max is
+// consistent with both quotes.
+TEST(LinkProfileTest, LoadedLatencyRatiosMatchSection43) {
+  const double local_max = LinkProfile::LocalDram().max_latency_ns;
+  EXPECT_NEAR(LinkProfile::Link0().max_latency_ns / local_max, 2.8, 0.05);
+  EXPECT_NEAR(LinkProfile::Link1().max_latency_ns / local_max, 3.6, 0.07);
+}
+
+// --- Topology -----------------------------------------------------------------
+
+class TopologyTest : public ::testing::Test {
+ protected:
+  sim::FluidSimulator sim_;
+};
+
+TEST_F(TopologyTest, LogicalHasNoPool) {
+  Topology t = Topology::MakeLogical(&sim_, 4, LinkProfile::Link0());
+  EXPECT_EQ(t.kind(), TopologyKind::kLogical);
+  EXPECT_EQ(t.num_servers(), 4);
+  EXPECT_FALSE(t.has_pool());
+}
+
+TEST_F(TopologyTest, PhysicalHasPool) {
+  Topology t = Topology::MakePhysical(&sim_, 4, LinkProfile::Link0());
+  EXPECT_TRUE(t.has_pool());
+  EXPECT_EQ(t.pool_port_count(), 1);
+}
+
+TEST_F(TopologyTest, LocalPathTouchesCoreAndDram) {
+  Topology t = Topology::MakeLogical(&sim_, 2, LinkProfile::Link0());
+  const auto path = t.LocalPath(0, 3);
+  ASSERT_EQ(path.size(), 2u);
+  EXPECT_EQ(path[0], t.core(0, 3));
+  EXPECT_EQ(path[1], t.dram(0));
+}
+
+TEST_F(TopologyTest, RemotePathCrossesBothPorts) {
+  Topology t = Topology::MakeLogical(&sim_, 2, LinkProfile::Link0());
+  const auto path = t.RemotePath(0, 1, 1);
+  ASSERT_EQ(path.size(), 4u);
+  EXPECT_EQ(path[0], t.core(0, 1));
+  EXPECT_EQ(path[1], t.port(0));
+  EXPECT_EQ(path[2], t.port(1));
+  EXPECT_EQ(path[3], t.dram(1));
+}
+
+TEST_F(TopologyTest, PoolPathUsesPoolResources) {
+  Topology t = Topology::MakePhysical(&sim_, 4, LinkProfile::Link1());
+  const auto path = t.PoolPath(2, 0);
+  ASSERT_EQ(path.size(), 4u);
+  EXPECT_EQ(path[0], t.core(2, 0));
+  EXPECT_EQ(path[1], t.port(2));
+  EXPECT_EQ(path[2], t.pool_port(2));
+  EXPECT_EQ(path[3], t.pool_dram());
+}
+
+TEST_F(TopologyTest, MultiPortPoolSpreadsByServer) {
+  Topology t = Topology::MakePhysical(&sim_, 4, LinkProfile::Link0(), {}, 2);
+  EXPECT_EQ(t.pool_port_count(), 2);
+  EXPECT_EQ(t.pool_port(0), t.pool_port(2));  // wraps modulo port count
+  EXPECT_NE(t.pool_port(0), t.pool_port(1));
+}
+
+TEST_F(TopologyTest, PortCapacityMatchesLink) {
+  Topology t = Topology::MakeLogical(&sim_, 2, LinkProfile::Link1());
+  EXPECT_DOUBLE_EQ(sim_.capacity(t.port(0)), GBps(21.0));
+  EXPECT_DOUBLE_EQ(sim_.capacity(t.dram(0)), GBps(97.0));
+}
+
+TEST_F(TopologyTest, DmaPathsHaveNoCore) {
+  Topology t = Topology::MakeLogical(&sim_, 2, LinkProfile::Link0());
+  const auto path = t.DmaRemotePath(0, 1);
+  ASSERT_EQ(path.size(), 3u);
+  EXPECT_EQ(path[0], t.port(0));
+}
+
+TEST_F(TopologyTest, UnloadedLatencyIsMinimum) {
+  Topology t = Topology::MakeLogical(&sim_, 2, LinkProfile::Link0());
+  EXPECT_NEAR(t.RemoteLoadedLatency(0, 1), 163.0, 1.0);
+  EXPECT_NEAR(t.LocalLoadedLatency(0), 82.0, 1.0);
+}
+
+TEST_F(TopologyTest, LoadedLatencyRisesUnderTraffic) {
+  Topology t = Topology::MakeLogical(&sim_, 2, LinkProfile::Link0());
+  // Saturate the remote path for a while.
+  for (int c = 0; c < 14; ++c) {
+    sim_.StartFlow(1e9, t.RemotePath(0, c, 1));
+  }
+  sim_.Run();
+  EXPECT_GT(t.RemoteLoadedLatency(0, 1), 300.0);  // near max under load
+}
+
+}  // namespace
+}  // namespace lmp::fabric

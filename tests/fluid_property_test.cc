@@ -1,0 +1,190 @@
+// Randomized property tests for the fluid solver — the substrate every
+// timing result rests on.  For random topologies and flow sets:
+//   P1  capacity: at every event, the rate sum on each resource never
+//       exceeds its capacity;
+//   P2  conservation: every flow's bytes are fully served on every
+//       resource of its path by completion;
+//   P3  termination: the simulation always drains;
+//   P4  work conservation (single bottleneck): if all flows cross one
+//       shared resource, the makespan equals total bytes / capacity;
+//   P5  max-min fairness: equal-demand flows over one resource finish
+//       together.
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+#include "sim/fluid.h"
+#include "sim/stream.h"
+
+namespace lmp::sim {
+namespace {
+
+class FluidPropertyTest : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(FluidPropertyTest, CapacityAndConservationUnderRandomLoad) {
+  Rng rng(GetParam());
+  FluidSimulator sim;
+
+  const int num_resources = static_cast<int>(rng.NextInRange(2, 8));
+  std::vector<ResourceId> resources;
+  std::vector<double> capacities;
+  for (int r = 0; r < num_resources; ++r) {
+    const double cap = GBps(static_cast<double>(rng.NextInRange(1, 100)));
+    resources.push_back(sim.AddResource("r" + std::to_string(r), cap));
+    capacities.push_back(cap);
+  }
+
+  const int num_flows = static_cast<int>(rng.NextInRange(3, 24));
+  struct FlowSpec {
+    FlowId id;
+    double bytes;
+    std::vector<ResourceId> path;
+  };
+  std::vector<FlowSpec> flows;
+  for (int f = 0; f < num_flows; ++f) {
+    FlowSpec spec;
+    spec.bytes = static_cast<double>(rng.NextInRange(1, 1000)) * 1e6;
+    const int path_len =
+        static_cast<int>(rng.NextInRange(1, num_resources));
+    std::vector<int> idx(num_resources);
+    for (int i = 0; i < num_resources; ++i) idx[i] = i;
+    rng.Shuffle(idx);
+    for (int i = 0; i < path_len; ++i) {
+      spec.path.push_back(resources[idx[i]]);
+    }
+    spec.id = sim.StartFlow(spec.bytes, spec.path);
+    flows.push_back(std::move(spec));
+  }
+
+  // P1 checked at every step via instantaneous utilization.
+  int steps = 0;
+  do {
+    for (int r = 0; r < num_resources; ++r) {
+      ASSERT_LE(sim.Utilization(resources[r]), 1.0 + 1e-9)
+          << "resource " << r << " over capacity";
+    }
+    ASSERT_LT(++steps, 100000) << "P3 violated: no termination";
+  } while (sim.Step());
+
+  // P2: bytes served per resource equal the sum of crossing flows.
+  std::vector<double> expected(num_resources, 0.0);
+  for (const FlowSpec& f : flows) {
+    ASSERT_TRUE(sim.record(f.id)->done);
+    for (ResourceId r : f.path) {
+      expected[r] += f.bytes;
+    }
+  }
+  for (int r = 0; r < num_resources; ++r) {
+    EXPECT_NEAR(sim.BytesServed(resources[r]), expected[r],
+                expected[r] * 1e-6 + 1.0)
+        << "resource " << r;
+  }
+}
+
+TEST_P(FluidPropertyTest, SingleBottleneckIsWorkConserving) {
+  Rng rng(GetParam() ^ 0xABCD);
+  FluidSimulator sim;
+  const double cap = GBps(static_cast<double>(rng.NextInRange(5, 50)));
+  const ResourceId shared = sim.AddResource("shared", cap);
+
+  double total_bytes = 0;
+  const int num_flows = static_cast<int>(rng.NextInRange(2, 16));
+  for (int f = 0; f < num_flows; ++f) {
+    const double bytes =
+        static_cast<double>(rng.NextInRange(10, 500)) * 1e6;
+    total_bytes += bytes;
+    // Optional private leg that never binds (10x the shared capacity).
+    std::vector<ResourceId> path{shared};
+    if (rng.NextBernoulli(0.5)) {
+      path.insert(path.begin(),
+                  sim.AddResource("private" + std::to_string(f), cap * 10));
+    }
+    sim.StartFlow(bytes, path);
+  }
+  sim.Run();
+  EXPECT_NEAR(sim.now(), total_bytes / cap * kNsPerSec,
+              sim.now() * 1e-9 + 1.0);
+}
+
+TEST_P(FluidPropertyTest, EqualFlowsFinishTogether) {
+  Rng rng(GetParam() ^ 0x5555);
+  FluidSimulator sim;
+  const ResourceId shared = sim.AddResource("shared", GBps(10));
+  const double bytes = static_cast<double>(rng.NextInRange(1, 100)) * 1e6;
+  std::vector<FlowId> ids;
+  const int n = static_cast<int>(rng.NextInRange(2, 12));
+  for (int f = 0; f < n; ++f) {
+    ids.push_back(sim.StartFlow(bytes, {shared}));
+  }
+  sim.Run();
+  const SimTime first_end = sim.record(ids[0])->end;
+  for (FlowId id : ids) {
+    EXPECT_NEAR(sim.record(id)->end, first_end, 1e-3);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, FluidPropertyTest,
+                         ::testing::Values(11, 22, 33, 44, 55, 66, 77, 88,
+                                           99, 1010));
+
+}  // namespace
+}  // namespace lmp::sim
+
+namespace lmp::sim {
+namespace {
+
+// --- Weighted max-min fairness ------------------------------------------------
+
+TEST(WeightedFairnessTest, WeightTwoGetsDoubleShare) {
+  FluidSimulator sim;
+  const ResourceId r = sim.AddResource("link", GBps(30));
+  const FlowId heavy = sim.StartFlow(1e12, {r}, nullptr, 2.0);
+  const FlowId light = sim.StartFlow(1e12, {r}, nullptr, 1.0);
+  EXPECT_NEAR(sim.FlowRate(heavy), GBps(20), 1);
+  EXPECT_NEAR(sim.FlowRate(light), GBps(10), 1);
+}
+
+TEST(WeightedFairnessTest, WeightsRespectOtherBottlenecks) {
+  // The heavy flow is clamped by its private slow leg; the light flow
+  // absorbs the slack (weighted max-min, not strict proportional).
+  FluidSimulator sim;
+  const ResourceId shared = sim.AddResource("shared", GBps(30));
+  const ResourceId slow = sim.AddResource("slow", GBps(5));
+  const FlowId heavy = sim.StartFlow(1e12, {shared, slow}, nullptr, 10.0);
+  const FlowId light = sim.StartFlow(1e12, {shared}, nullptr, 1.0);
+  EXPECT_NEAR(sim.FlowRate(heavy), GBps(5), 1);
+  EXPECT_NEAR(sim.FlowRate(light), GBps(25), 1);
+}
+
+TEST(WeightedFairnessTest, EqualWeightsReduceToPlainMaxMin) {
+  FluidSimulator sim;
+  const ResourceId r = sim.AddResource("link", GBps(12));
+  const FlowId a = sim.StartFlow(1e12, {r}, nullptr, 3.0);
+  const FlowId b = sim.StartFlow(1e12, {r}, nullptr, 3.0);
+  EXPECT_NEAR(sim.FlowRate(a), GBps(6), 1);
+  EXPECT_NEAR(sim.FlowRate(b), GBps(6), 1);
+}
+
+TEST(WeightedFairnessTest, CompletionOrderFollowsWeights) {
+  FluidSimulator sim;
+  const ResourceId r = sim.AddResource("link", GBps(10));
+  const FlowId heavy = sim.StartFlow(10e9, {r}, nullptr, 4.0);
+  const FlowId light = sim.StartFlow(10e9, {r}, nullptr, 1.0);
+  sim.Run();
+  EXPECT_LT(sim.record(heavy)->end, sim.record(light)->end);
+}
+
+TEST(WeightedFairnessTest, SpanStreamCarriesWeight) {
+  FluidSimulator sim;
+  const ResourceId r = sim.AddResource("link", GBps(30));
+  SpanStream heavy(&sim, {Span{20e9, {r}, 2.0}});
+  SpanStream light(&sim, {Span{10e9, {r}, 1.0}});
+  heavy.Start();
+  light.Start();
+  sim.Run();
+  // 20 GB at 20 GB/s and 10 GB at 10 GB/s: both finish at t=1s.
+  EXPECT_NEAR(heavy.end_time(), Seconds(1), 1e3);
+  EXPECT_NEAR(light.end_time(), Seconds(1), 1e3);
+}
+
+}  // namespace
+}  // namespace lmp::sim

@@ -1,0 +1,272 @@
+// Tests for the fluid-flow simulator: max-min fairness, event ordering,
+// timers, utilization accounting, and the large-simulated-time regression
+// (Zeno deadlock) that once hung the Figure benches.
+#include <gtest/gtest.h>
+
+#include "common/units.h"
+#include "sim/fluid.h"
+#include "sim/stream.h"
+
+namespace lmp::sim {
+namespace {
+
+TEST(FluidTest, SingleFlowSingleResource) {
+  FluidSimulator sim;
+  const ResourceId r = sim.AddResource("link", GBps(10));
+  const FlowId f = sim.StartFlow(10e9, {r});
+  sim.Run();
+  const FlowRecord* rec = sim.record(f);
+  ASSERT_NE(rec, nullptr);
+  EXPECT_TRUE(rec->done);
+  EXPECT_NEAR(rec->end - rec->start, Seconds(1), 1);  // 10 GB at 10 GB/s
+}
+
+TEST(FluidTest, RateLimitedByBottleneck) {
+  FluidSimulator sim;
+  const ResourceId fast = sim.AddResource("fast", GBps(100));
+  const ResourceId slow = sim.AddResource("slow", GBps(10));
+  const FlowId f = sim.StartFlow(10e9, {fast, slow});
+  sim.Run();
+  EXPECT_NEAR(sim.record(f)->end, Seconds(1), 1);
+}
+
+TEST(FluidTest, TwoFlowsShareFairly) {
+  FluidSimulator sim;
+  const ResourceId r = sim.AddResource("link", GBps(10));
+  const FlowId a = sim.StartFlow(5e9, {r});
+  const FlowId b = sim.StartFlow(5e9, {r});
+  sim.Run();
+  // Each gets 5 GB/s; both finish at t=1s.
+  EXPECT_NEAR(sim.record(a)->end, Seconds(1), 1);
+  EXPECT_NEAR(sim.record(b)->end, Seconds(1), 1);
+}
+
+TEST(FluidTest, ShortFlowFinishesThenLongSpeedsUp) {
+  FluidSimulator sim;
+  const ResourceId r = sim.AddResource("link", GBps(10));
+  const FlowId small = sim.StartFlow(1e9, {r});
+  const FlowId big = sim.StartFlow(9e9, {r});
+  sim.Run();
+  // Phase 1: both at 5 GB/s until small done at 0.2s (1GB/5GBps).
+  EXPECT_NEAR(sim.record(small)->end, Seconds(0.2), 1e3);
+  // Big: 1 GB in phase 1, then 8 GB at full 10 GB/s = 0.8s more.
+  EXPECT_NEAR(sim.record(big)->end, Seconds(1.0), 1e3);
+}
+
+TEST(FluidTest, MaxMinWithHeterogeneousPaths) {
+  // Flow A crosses only the big resource; flow B crosses big and small.
+  // B is throttled by small; A picks up the slack on big.
+  FluidSimulator sim;
+  const ResourceId big = sim.AddResource("big", GBps(10));
+  const ResourceId small = sim.AddResource("small", GBps(2));
+  const FlowId a = sim.StartFlow(1e9, {big});
+  const FlowId b = sim.StartFlow(1e9, {big, small});
+  EXPECT_NEAR(sim.FlowRate(b), GBps(2), 1);   // bottlenecked at small
+  EXPECT_NEAR(sim.FlowRate(a), GBps(8), 1);   // rest of big
+  sim.Run();
+  EXPECT_TRUE(sim.record(a)->done);
+  EXPECT_TRUE(sim.record(b)->done);
+}
+
+TEST(FluidTest, FourteenCoresSaturateDram) {
+  // The paper's local configuration: 14 cores, each capped at 12 GB/s,
+  // share a 97 GB/s DRAM device -> aggregate is DRAM-bound at 97.
+  FluidSimulator sim;
+  const ResourceId dram = sim.AddResource("dram", GBps(97));
+  std::vector<ResourceId> cores;
+  for (int c = 0; c < 14; ++c) {
+    cores.push_back(sim.AddResource("core", GBps(12)));
+  }
+  const double per_core_bytes = 97e9 / 14;
+  for (int c = 0; c < 14; ++c) {
+    sim.StartFlow(per_core_bytes, {cores[c], dram});
+  }
+  const double util = sim.Utilization(dram);
+  EXPECT_NEAR(util, 1.0, 1e-9);
+  sim.Run();
+  EXPECT_NEAR(sim.now(), Seconds(1), 1e3);
+}
+
+TEST(FluidTest, ZeroByteFlowCompletesImmediately) {
+  FluidSimulator sim;
+  const ResourceId r = sim.AddResource("link", GBps(1));
+  bool fired = false;
+  const FlowId f = sim.StartFlow(0, {r}, [&](FlowId, SimTime) {
+    fired = true;
+  });
+  EXPECT_TRUE(fired);
+  EXPECT_TRUE(sim.record(f)->done);
+  EXPECT_EQ(sim.active_flow_count(), 0u);
+}
+
+TEST(FluidTest, EmptyPathCompletesImmediately) {
+  FluidSimulator sim;
+  const FlowId f = sim.StartFlow(100, {});
+  EXPECT_TRUE(sim.record(f)->done);
+}
+
+TEST(FluidTest, CompletionCallbackCanChainFlows) {
+  FluidSimulator sim;
+  const ResourceId r = sim.AddResource("link", GBps(1));
+  int completions = 0;
+  sim.StartFlow(1e9, {r}, [&](FlowId, SimTime) {
+    ++completions;
+    sim.StartFlow(1e9, {r}, [&](FlowId, SimTime) { ++completions; });
+  });
+  sim.Run();
+  EXPECT_EQ(completions, 2);
+  EXPECT_NEAR(sim.now(), Seconds(2), 1e3);
+}
+
+TEST(FluidTest, TimersFireInOrder) {
+  FluidSimulator sim;
+  sim.AddResource("unused", GBps(1));
+  std::vector<int> order;
+  sim.ScheduleAt(Seconds(2), [&](SimTime) { order.push_back(2); });
+  sim.ScheduleAt(Seconds(1), [&](SimTime) { order.push_back(1); });
+  sim.ScheduleAfter(Seconds(3), [&](SimTime) { order.push_back(3); });
+  sim.Run();
+  EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+  EXPECT_DOUBLE_EQ(sim.now(), Seconds(3));
+}
+
+TEST(FluidTest, TimerTiebreakIsFifo) {
+  FluidSimulator sim;
+  std::vector<int> order;
+  sim.ScheduleAt(Seconds(1), [&](SimTime) { order.push_back(1); });
+  sim.ScheduleAt(Seconds(1), [&](SimTime) { order.push_back(2); });
+  sim.Run();
+  EXPECT_EQ(order, (std::vector<int>{1, 2}));
+}
+
+TEST(FluidTest, TimerInterleavesWithFlows) {
+  FluidSimulator sim;
+  const ResourceId r = sim.AddResource("link", GBps(1));
+  const FlowId f = sim.StartFlow(2e9, {r});  // completes at 2s
+  double flow_rate_at_timer = -1;
+  sim.ScheduleAt(Seconds(1), [&](SimTime) {
+    flow_rate_at_timer = sim.FlowRate(f);
+  });
+  sim.Run();
+  EXPECT_NEAR(flow_rate_at_timer, GBps(1), 1);
+  EXPECT_NEAR(sim.record(f)->end, Seconds(2), 1e3);
+}
+
+TEST(FluidTest, SetCapacityChangesRates) {
+  FluidSimulator sim;
+  const ResourceId r = sim.AddResource("link", GBps(10));
+  const FlowId f = sim.StartFlow(10e9, {r});
+  EXPECT_NEAR(sim.FlowRate(f), GBps(10), 1);
+  ASSERT_TRUE(sim.SetCapacity(r, GBps(5)).ok());
+  EXPECT_NEAR(sim.FlowRate(f), GBps(5), 1);
+  EXPECT_FALSE(sim.SetCapacity(999, GBps(1)).ok());
+  EXPECT_FALSE(sim.SetCapacity(r, 0).ok());
+}
+
+TEST(FluidTest, BytesServedAccumulates) {
+  FluidSimulator sim;
+  const ResourceId r = sim.AddResource("link", GBps(1));
+  sim.StartFlow(3e9, {r});
+  sim.Run();
+  EXPECT_NEAR(sim.BytesServed(r), 3e9, 1);
+}
+
+TEST(FluidTest, UtilizationDropsWhenIdle) {
+  FluidSimulator sim;
+  const ResourceId r = sim.AddResource("link", GBps(1));
+  sim.StartFlow(1e9, {r});
+  EXPECT_DOUBLE_EQ(sim.Utilization(r), 1.0);
+  sim.Run();
+  EXPECT_DOUBLE_EQ(sim.Utilization(r), 0.0);
+}
+
+TEST(FluidTest, SmoothedUtilizationLagsInstantaneous) {
+  FluidSimulator sim;
+  const ResourceId r = sim.AddResource("link", GBps(1));
+  sim.StartFlow(0.1e9, {r});  // 100 ms of full load
+  EXPECT_LT(sim.SmoothedUtilization(r), 0.5);  // just started
+  sim.Run();
+  EXPECT_GT(sim.SmoothedUtilization(r), 0.9);  // long past the tau
+}
+
+TEST(FluidTest, RunUntilFlowDoneStopsEarly) {
+  FluidSimulator sim;
+  const ResourceId r = sim.AddResource("link", GBps(1));
+  const FlowId fast = sim.StartFlow(0.5e9, {r});
+  const FlowId slow = sim.StartFlow(10e9, {r});
+  ASSERT_TRUE(sim.RunUntilFlowDone(fast).ok());
+  EXPECT_TRUE(sim.record(fast)->done);
+  EXPECT_FALSE(sim.record(slow)->done);
+  EXPECT_FALSE(sim.RunUntilFlowDone(9999).ok());
+}
+
+// Regression: at simulated times beyond ~2^31 ns, absolute-time rounding
+// once stranded sub-epsilon residues and the loop never advanced.
+TEST(FluidTest, NoZenoDeadlockAtLargeSimTimes) {
+  FluidSimulator sim;
+  const ResourceId r = sim.AddResource("link", GBps(34.5));
+  // Push now_ far out, then run many equal flows like the no-cache bench.
+  sim.ScheduleAt(Seconds(10), [](SimTime) {});
+  sim.Run();
+  for (int rep = 0; rep < 20; ++rep) {
+    std::vector<FlowId> flows;
+    for (int c = 0; c < 14; ++c) {
+      flows.push_back(sim.StartFlow(8e9 / 14 + c, {r}));
+    }
+    sim.Run();
+    for (FlowId f : flows) EXPECT_TRUE(sim.record(f)->done);
+  }
+  EXPECT_GT(sim.now(), Seconds(10));
+}
+
+// --- SpanStream -------------------------------------------------------------
+
+TEST(SpanStreamTest, ProcessesSpansSequentially) {
+  FluidSimulator sim;
+  const ResourceId a = sim.AddResource("a", GBps(1));
+  const ResourceId b = sim.AddResource("b", GBps(2));
+  SpanStream stream(&sim, {Span{1e9, {a}}, Span{1e9, {b}}});
+  stream.Start();
+  sim.Run();
+  EXPECT_TRUE(stream.done());
+  // 1 s on a, then 0.5 s on b.
+  EXPECT_NEAR(stream.end_time() - stream.start_time(), Seconds(1.5), 1e3);
+  EXPECT_DOUBLE_EQ(stream.total_bytes(), 2e9);
+}
+
+TEST(SpanStreamTest, EmptyStreamCompletesInstantly) {
+  FluidSimulator sim;
+  SpanStream stream(&sim, {});
+  stream.Start();
+  EXPECT_TRUE(stream.done());
+}
+
+TEST(SpanStreamTest, RunStreamsReportsAggregateBandwidth) {
+  FluidSimulator sim;
+  const ResourceId r = sim.AddResource("link", GBps(10));
+  std::vector<std::unique_ptr<SpanStream>> streams;
+  for (int i = 0; i < 2; ++i) {
+    streams.push_back(std::make_unique<SpanStream>(
+        &sim, std::vector<Span>{Span{5e9, {r}}}));
+  }
+  const ParallelRunResult res = RunStreams(&sim, std::move(streams));
+  EXPECT_NEAR(res.gbps, 10.0, 0.01);  // 10 GB in 1 s
+  EXPECT_DOUBLE_EQ(res.bytes, 10e9);
+}
+
+TEST(SpanStreamTest, UnequalStreamsMakespanIsSlowest) {
+  FluidSimulator sim;
+  const ResourceId fast = sim.AddResource("fast", GBps(10));
+  const ResourceId slow = sim.AddResource("slow", GBps(1));
+  std::vector<std::unique_ptr<SpanStream>> streams;
+  streams.push_back(std::make_unique<SpanStream>(
+      &sim, std::vector<Span>{Span{1e9, {fast}}}));
+  streams.push_back(std::make_unique<SpanStream>(
+      &sim, std::vector<Span>{Span{1e9, {slow}}}));
+  const ParallelRunResult res = RunStreams(&sim, std::move(streams));
+  EXPECT_NEAR(res.end - res.start, Seconds(1), 1e3);  // slow stream
+  EXPECT_NEAR(res.gbps, 2.0, 0.01);
+}
+
+}  // namespace
+}  // namespace lmp::sim

@@ -1,0 +1,121 @@
+// Tests for buffer Grow/Shrink and the pool snapshot.
+#include <gtest/gtest.h>
+
+#include "core/pool_manager.h"
+
+namespace lmp::core {
+namespace {
+
+cluster::ClusterConfig Config() {
+  cluster::ClusterConfig config;
+  config.num_servers = 4;
+  config.server_total_memory = MiB(4);
+  config.server_shared_memory = MiB(4);
+  config.frame_size = KiB(4);
+  config.with_backing = true;
+  return config;
+}
+
+class GrowShrinkTest : public ::testing::Test {
+ protected:
+  GrowShrinkTest() : cluster_(Config()), manager_(&cluster_) {}
+  cluster::Cluster cluster_;
+  PoolManager manager_;
+};
+
+TEST_F(GrowShrinkTest, GrowPreservesExistingData) {
+  auto buf = manager_.Allocate(KiB(32), 0);
+  ASSERT_TRUE(buf.ok());
+  std::vector<std::byte> data(KiB(32), std::byte{0x77});
+  ASSERT_TRUE(manager_.Write(0, *buf, 0, data).ok());
+
+  ASSERT_TRUE(manager_.Grow(*buf, KiB(32), 1).ok());
+  auto info = manager_.Describe(*buf);
+  ASSERT_TRUE(info.ok());
+  EXPECT_EQ(info->size, KiB(64));
+
+  // Old range intact; new range writable.
+  std::vector<std::byte> out(KiB(32));
+  ASSERT_TRUE(manager_.Read(2, *buf, 0, out).ok());
+  EXPECT_EQ(out, data);
+  std::vector<std::byte> tail(KiB(32), std::byte{0x11});
+  ASSERT_TRUE(manager_.Write(1, *buf, KiB(32), tail).ok());
+}
+
+TEST_F(GrowShrinkTest, GrowBeyondPoolIsOutOfMemory) {
+  auto buf = manager_.Allocate(MiB(1), 0);
+  ASSERT_TRUE(buf.ok());
+  EXPECT_TRUE(IsOutOfMemory(manager_.Grow(*buf, MiB(16), 0)));
+  // Original buffer untouched.
+  EXPECT_EQ(manager_.Describe(*buf)->size, MiB(1));
+}
+
+TEST_F(GrowShrinkTest, ShrinkAtSegmentBoundaryFreesTail) {
+  auto buf = manager_.Allocate(KiB(32), 0);
+  ASSERT_TRUE(buf.ok());
+  ASSERT_TRUE(manager_.Grow(*buf, KiB(32), 1).ok());  // 2 segments
+  const Bytes free_before = cluster_.PooledFreeBytes();
+  ASSERT_TRUE(manager_.Shrink(*buf, KiB(32)).ok());
+  EXPECT_EQ(manager_.Describe(*buf)->size, KiB(32));
+  EXPECT_EQ(cluster_.PooledFreeBytes(), free_before + KiB(32));
+}
+
+TEST_F(GrowShrinkTest, ShrinkInsideSegmentNeedsSplit) {
+  auto buf = manager_.Allocate(KiB(32), 0);
+  ASSERT_TRUE(buf.ok());
+  EXPECT_EQ(manager_.Shrink(*buf, KiB(16)).code(),
+            StatusCode::kFailedPrecondition);
+  ASSERT_TRUE(manager_.SplitSegmentAt(*buf, KiB(16)).ok());
+  EXPECT_TRUE(manager_.Shrink(*buf, KiB(16)).ok());
+  EXPECT_EQ(manager_.Describe(*buf)->size, KiB(16));
+}
+
+TEST_F(GrowShrinkTest, ShrinkValidation) {
+  auto buf = manager_.Allocate(KiB(32), 0);
+  ASSERT_TRUE(buf.ok());
+  EXPECT_FALSE(manager_.Shrink(*buf, 0).ok());
+  EXPECT_FALSE(manager_.Shrink(*buf, KiB(64)).ok());
+  EXPECT_TRUE(manager_.Shrink(*buf, KiB(32)).ok());  // no-op
+  EXPECT_FALSE(manager_.Shrink(999, KiB(1)).ok());
+  EXPECT_FALSE(manager_.Grow(999, KiB(1), 0).ok());
+  EXPECT_FALSE(manager_.Grow(*buf, 0, 0).ok());
+}
+
+TEST_F(GrowShrinkTest, GrowShrinkRoundTripConservesCapacity) {
+  const Bytes before = cluster_.PooledFreeBytes();
+  auto buf = manager_.Allocate(KiB(16), 0);
+  ASSERT_TRUE(buf.ok());
+  for (int i = 0; i < 5; ++i) {
+    ASSERT_TRUE(manager_.Grow(*buf, KiB(16), std::nullopt).ok());
+  }
+  ASSERT_TRUE(manager_.Shrink(*buf, KiB(16)).ok());
+  ASSERT_TRUE(manager_.Free(*buf).ok());
+  EXPECT_EQ(cluster_.PooledFreeBytes(), before);
+}
+
+TEST_F(GrowShrinkTest, SnapshotReportsCapacityAndBacklog) {
+  auto local = manager_.Allocate(MiB(1), 0);
+  auto contested = manager_.Allocate(MiB(2), 1);
+  ASSERT_TRUE(local.ok() && contested.ok());
+  // Server 3 hammers the buffer homed on server 1.
+  ASSERT_TRUE(manager_.Touch(3, *contested, 0, MiB(2), Seconds(1)).ok());
+
+  const auto snap = manager_.Snapshot(Seconds(1));
+  EXPECT_EQ(snap.buffers, 2u);
+  EXPECT_EQ(snap.segments, 2u);
+  ASSERT_EQ(snap.servers.size(), 4u);
+  EXPECT_EQ(snap.servers[0].used, MiB(1));
+  EXPECT_EQ(snap.servers[1].used, MiB(2));
+  EXPECT_EQ(snap.servers[1].remote_hot, MiB(2));  // balancer backlog
+  EXPECT_EQ(snap.servers[0].remote_hot, 0u);      // untouched
+  EXPECT_FALSE(snap.servers[0].crashed);
+}
+
+TEST_F(GrowShrinkTest, SnapshotMarksCrashedServers) {
+  manager_.OnServerCrash(2);
+  const auto snap = manager_.Snapshot(0);
+  EXPECT_TRUE(snap.servers[2].crashed);
+}
+
+}  // namespace
+}  // namespace lmp::core

@@ -1,0 +1,78 @@
+// Tests for AccessTracker: decay semantics, dominance, and forgetting.
+#include <gtest/gtest.h>
+
+#include "core/hotness.h"
+
+namespace lmp::core {
+namespace {
+
+TEST(AccessTrackerTest, RecordsBytesPerServer) {
+  AccessTracker tracker;
+  tracker.RecordAccess(1, 0, 1000, 0);
+  tracker.RecordAccess(1, 1, 500, 0);
+  EXPECT_DOUBLE_EQ(tracker.AccessedBytes(1, 0, 0), 1000);
+  EXPECT_DOUBLE_EQ(tracker.AccessedBytes(1, 1, 0), 500);
+  EXPECT_DOUBLE_EQ(tracker.TotalBytes(1, 0), 1500);
+}
+
+TEST(AccessTrackerTest, UnknownSegmentIsZero) {
+  AccessTracker tracker;
+  EXPECT_DOUBLE_EQ(tracker.AccessedBytes(9, 0, 0), 0);
+  EXPECT_DOUBLE_EQ(tracker.TotalBytes(9, 0), 0);
+  AccessTracker::DominantAccessor dom;
+  EXPECT_FALSE(tracker.Dominant(9, 0, &dom));
+}
+
+TEST(AccessTrackerTest, DecayHalvesAtHalfLife) {
+  AccessTracker tracker(Milliseconds(100));
+  tracker.RecordAccess(1, 0, 1000, 0);
+  EXPECT_NEAR(tracker.AccessedBytes(1, 0, Milliseconds(100)), 500, 1);
+  EXPECT_NEAR(tracker.AccessedBytes(1, 0, Milliseconds(200)), 250, 1);
+}
+
+TEST(AccessTrackerTest, AccumulationAppliesDecayFirst) {
+  AccessTracker tracker(Milliseconds(100));
+  tracker.RecordAccess(1, 0, 1000, 0);
+  tracker.RecordAccess(1, 0, 1000, Milliseconds(100));
+  EXPECT_NEAR(tracker.AccessedBytes(1, 0, Milliseconds(100)), 1500, 1);
+}
+
+TEST(AccessTrackerTest, DominantFindsHeaviestAccessor) {
+  AccessTracker tracker;
+  tracker.RecordAccess(5, 0, 100, 0);
+  tracker.RecordAccess(5, 2, 700, 0);
+  tracker.RecordAccess(5, 3, 200, 0);
+  AccessTracker::DominantAccessor dom;
+  ASSERT_TRUE(tracker.Dominant(5, 0, &dom));
+  EXPECT_EQ(dom.server, 2u);
+  EXPECT_NEAR(dom.share, 0.7, 1e-9);
+  EXPECT_NEAR(dom.bytes, 700, 1e-9);
+}
+
+TEST(AccessTrackerTest, DominanceShiftsAsOldTrafficDecays) {
+  AccessTracker tracker(Milliseconds(10));
+  tracker.RecordAccess(1, 0, 1000, 0);  // old traffic from server 0
+  tracker.RecordAccess(1, 1, 600, Milliseconds(50));  // recent, server 1
+  AccessTracker::DominantAccessor dom;
+  ASSERT_TRUE(tracker.Dominant(1, Milliseconds(50), &dom));
+  EXPECT_EQ(dom.server, 1u);  // 1000 decayed through 5 half-lives ~ 31
+}
+
+TEST(AccessTrackerTest, ForgetDropsSegment) {
+  AccessTracker tracker;
+  tracker.RecordAccess(1, 0, 100, 0);
+  tracker.Forget(1);
+  EXPECT_DOUBLE_EQ(tracker.TotalBytes(1, 0), 0);
+  EXPECT_EQ(tracker.tracked_segments(), 0u);
+}
+
+TEST(AccessTrackerTest, ClearDropsEverything) {
+  AccessTracker tracker;
+  tracker.RecordAccess(1, 0, 100, 0);
+  tracker.RecordAccess(2, 0, 100, 0);
+  tracker.Clear();
+  EXPECT_EQ(tracker.tracked_segments(), 0u);
+}
+
+}  // namespace
+}  // namespace lmp::core

@@ -1,0 +1,93 @@
+// Randomized reference-model test for PoolKvStore: random interleavings of
+// Put/Get/Delete (from random servers, with occasional shard migrations)
+// must match a std::map reference exactly.
+#include <gtest/gtest.h>
+
+#include <cstring>
+#include <map>
+
+#include "common/rng.h"
+#include "workloads/kv_store.h"
+
+namespace lmp::workloads {
+namespace {
+
+class KvFuzzTest : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(KvFuzzTest, MatchesReferenceModelUnderRandomOps) {
+  auto pool_or = Pool::Create(PoolOptions::Small());
+  ASSERT_TRUE(pool_or.ok());
+  Pool& pool = **pool_or;
+  auto kv = PoolKvStore::Create(&pool, 256, 0);
+  ASSERT_TRUE(kv.ok());
+
+  Rng rng(GetParam());
+  std::map<std::uint64_t, std::string> reference;
+  const std::uint64_t key_space = 300;  // denser than capacity: collisions
+
+  for (int step = 0; step < 2000; ++step) {
+    const auto from =
+        static_cast<cluster::ServerId>(rng.NextBounded(4));
+    const std::uint64_t key = rng.NextBounded(key_space);
+    const int op = static_cast<int>(rng.NextBounded(100));
+
+    if (op < 45) {
+      // Put (may fail with kOutOfMemory when the table is truly full).
+      const std::string value =
+          "v" + std::to_string(key) + "-" + std::to_string(step);
+      const Status st = kv->Put(
+          from, key,
+          std::span<const std::byte>(
+              reinterpret_cast<const std::byte*>(value.data()),
+              value.size()));
+      if (st.ok()) {
+        reference[key] = value;
+      } else {
+        ASSERT_TRUE(IsOutOfMemory(st)) << st;
+      }
+    } else if (op < 80) {
+      // Get must agree with the reference.
+      auto got = kv->Get(from, key);
+      auto it = reference.find(key);
+      if (it == reference.end()) {
+        EXPECT_TRUE(IsNotFound(got.status())) << "key " << key;
+      } else {
+        ASSERT_TRUE(got.ok()) << "key " << key;
+        const char* p = reinterpret_cast<const char*>(got->data());
+        EXPECT_EQ(std::string(p, it->second.size()), it->second);
+      }
+    } else if (op < 95) {
+      // Delete.
+      const Status st = kv->Delete(from, key);
+      if (reference.erase(key) > 0) {
+        EXPECT_TRUE(st.ok());
+      } else {
+        EXPECT_TRUE(IsNotFound(st));
+      }
+    } else {
+      // Migrate one of the table's segments — Get/Put must be oblivious.
+      auto info = pool.manager().Describe(kv->buffer());
+      ASSERT_TRUE(info.ok());
+      const auto seg =
+          info->segments[rng.NextBounded(info->segments.size())];
+      const auto dst =
+          static_cast<cluster::ServerId>(rng.NextBounded(4));
+      (void)pool.manager().MigrateSegment(seg, dst);  // may legally fail
+    }
+    ASSERT_EQ(kv->size(), reference.size()) << "step " << step;
+  }
+
+  // Full final audit.
+  for (const auto& [key, value] : reference) {
+    auto got = kv->Get(0, key);
+    ASSERT_TRUE(got.ok()) << "key " << key;
+    const char* p = reinterpret_cast<const char*>(got->data());
+    EXPECT_EQ(std::string(p, value.size()), value);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, KvFuzzTest,
+                         ::testing::Values(101, 202, 303, 404, 505));
+
+}  // namespace
+}  // namespace lmp::workloads

@@ -1,0 +1,146 @@
+// Tests for the replicated coarse map (translation step 1, distributed).
+#include <gtest/gtest.h>
+
+#include "core/map_replication.h"
+
+namespace lmp::core {
+namespace {
+
+SegmentInfo Seg(SegmentId id, cluster::ServerId home) {
+  SegmentInfo info;
+  info.id = id;
+  info.size = MiB(1);
+  info.home = Location::OnServer(home);
+  return info;
+}
+
+TEST(MapReplicationTest, ReplicaConvergesAfterSync) {
+  MapAuthority authority;
+  MapReplica replica(&authority);
+  ASSERT_TRUE(authority.Insert(Seg(1, 0)).ok());
+  ASSERT_TRUE(authority.Insert(Seg(2, 1)).ok());
+
+  EXPECT_FALSE(replica.IsCurrent());
+  EXPECT_TRUE(IsNotFound(replica.Lookup(1).status()));  // stale: unseen
+
+  auto applied = replica.Sync();
+  ASSERT_TRUE(applied.ok());
+  EXPECT_EQ(*applied, 2);
+  EXPECT_TRUE(replica.IsCurrent());
+  EXPECT_EQ(replica.Lookup(1)->server, 0u);
+  EXPECT_EQ(replica.Lookup(2)->server, 1u);
+}
+
+TEST(MapReplicationTest, RehomePropagatesWithGeneration) {
+  MapAuthority authority;
+  MapReplica replica(&authority);
+  ASSERT_TRUE(authority.Insert(Seg(1, 0)).ok());
+  ASSERT_TRUE(replica.Sync().ok());
+
+  ASSERT_TRUE(authority.Rehome(1, Location::OnServer(3)).ok());
+  // Stale until sync: the replica still answers the OLD home.
+  EXPECT_EQ(replica.Lookup(1)->server, 0u);
+  ASSERT_TRUE(replica.Sync().ok());
+  EXPECT_EQ(replica.Lookup(1)->server, 3u);
+  EXPECT_EQ(replica.Find(1)->generation,
+            authority.map().Find(1)->generation);
+}
+
+TEST(MapReplicationTest, ValidateDetectsStaleness) {
+  MapAuthority authority;
+  MapReplica replica(&authority);
+  ASSERT_TRUE(authority.Insert(Seg(1, 0)).ok());
+  ASSERT_TRUE(replica.Sync().ok());
+  const std::uint64_t gen = replica.Find(1)->generation;
+
+  EXPECT_TRUE(replica.Validate(1, gen));
+  ASSERT_TRUE(authority.Rehome(1, Location::OnServer(2)).ok());
+  EXPECT_FALSE(replica.Validate(1, gen));  // the failed-access signal
+  EXPECT_EQ(replica.stale_lookups(), 1u);
+  // Recovery protocol: sync and retry.
+  ASSERT_TRUE(replica.Sync().ok());
+  EXPECT_TRUE(replica.Validate(1, replica.Find(1)->generation));
+}
+
+TEST(MapReplicationTest, RemovePropagates) {
+  MapAuthority authority;
+  MapReplica replica(&authority);
+  ASSERT_TRUE(authority.Insert(Seg(1, 0)).ok());
+  ASSERT_TRUE(replica.Sync().ok());
+  ASSERT_TRUE(authority.Remove(1).ok());
+  ASSERT_TRUE(replica.Sync().ok());
+  EXPECT_TRUE(IsNotFound(replica.Lookup(1).status()));
+}
+
+TEST(MapReplicationTest, MultipleReplicasIndependentCursors) {
+  MapAuthority authority;
+  MapReplica fast(&authority), slow(&authority);
+  ASSERT_TRUE(authority.Insert(Seg(1, 0)).ok());
+  ASSERT_TRUE(fast.Sync().ok());
+  ASSERT_TRUE(authority.Insert(Seg(2, 1)).ok());
+  ASSERT_TRUE(fast.Sync().ok());
+
+  EXPECT_TRUE(fast.IsCurrent());
+  EXPECT_FALSE(slow.IsCurrent());
+  auto applied = slow.Sync();
+  ASSERT_TRUE(applied.ok());
+  EXPECT_EQ(*applied, 2);  // both deltas in one pull
+  EXPECT_TRUE(slow.IsCurrent());
+}
+
+TEST(MapReplicationTest, SyncCostIsPerDeltaNotPerSegment) {
+  MapAuthority authority;
+  for (SegmentId s = 0; s < 1000; ++s) {
+    ASSERT_TRUE(authority.Insert(Seg(s, s % 4)).ok());
+  }
+  MapReplica replica(&authority);
+  ASSERT_TRUE(replica.Sync().ok());
+  // After the bootstrap, a single migration costs one delta's bytes —
+  // the whole point vs re-shipping the map (or per-access remote lookups).
+  ASSERT_TRUE(authority.Rehome(7, Location::OnServer(3)).ok());
+  EXPECT_EQ(authority.SyncCost(replica.applied_sequence()),
+            MapDelta::kWireBytes);
+  EXPECT_EQ(authority.SyncCost(authority.log_head()), 0u);
+}
+
+TEST(MapReplicationTest, IdempotentSyncAppliesNothingNew) {
+  MapAuthority authority;
+  MapReplica replica(&authority);
+  ASSERT_TRUE(authority.Insert(Seg(1, 0)).ok());
+  ASSERT_TRUE(replica.Sync().ok());
+  auto applied = replica.Sync();
+  ASSERT_TRUE(applied.ok());
+  EXPECT_EQ(*applied, 0);
+}
+
+TEST(MapReplicationTest, InterleavedChurnConverges) {
+  MapAuthority authority;
+  MapReplica replica(&authority);
+  for (int round = 0; round < 10; ++round) {
+    ASSERT_TRUE(
+        authority.Insert(Seg(static_cast<SegmentId>(round), round % 4))
+            .ok());
+    if (round % 3 == 0) {
+      ASSERT_TRUE(
+          authority
+              .Rehome(static_cast<SegmentId>(round),
+                      Location::OnServer((round + 1) % 4))
+              .ok());
+    }
+    if (round % 4 == 3) {
+      ASSERT_TRUE(
+          authority.Remove(static_cast<SegmentId>(round - 1)).ok());
+    }
+    ASSERT_TRUE(replica.Sync().ok());
+    // Replica matches authority exactly after each sync.
+    authority.map().ForEach([&](const SegmentInfo& truth) {
+      const SegmentInfo* mine = replica.Find(truth.id);
+      ASSERT_NE(mine, nullptr);
+      EXPECT_EQ(mine->home, truth.home);
+      EXPECT_EQ(mine->generation, truth.generation);
+    });
+  }
+}
+
+}  // namespace
+}  // namespace lmp::core

@@ -1,0 +1,265 @@
+// Tests for mem/: frame allocator, LRU cache, backing store, NUMA matrix.
+#include <gtest/gtest.h>
+
+#include "mem/backing_store.h"
+#include "mem/frame_allocator.h"
+#include "mem/lru_cache.h"
+#include "mem/numa.h"
+
+namespace lmp::mem {
+namespace {
+
+// --- FrameAllocator ---------------------------------------------------------
+
+TEST(FrameAllocatorTest, AllocatesExactCount) {
+  FrameAllocator alloc(100, KiB(64));
+  auto runs = alloc.Allocate(10);
+  ASSERT_TRUE(runs.ok());
+  std::uint64_t total = 0;
+  for (const auto& r : *runs) total += r.count;
+  EXPECT_EQ(total, 10u);
+  EXPECT_EQ(alloc.used_frames(), 10u);
+  EXPECT_EQ(alloc.free_frames(), 90u);
+}
+
+TEST(FrameAllocatorTest, FreshAllocationIsOneRun) {
+  FrameAllocator alloc(100, KiB(4));
+  auto runs = alloc.Allocate(50);
+  ASSERT_TRUE(runs.ok());
+  EXPECT_EQ(runs->size(), 1u);
+  EXPECT_EQ((*runs)[0].count, 50u);
+}
+
+TEST(FrameAllocatorTest, ZeroFramesIsEmpty) {
+  FrameAllocator alloc(10, KiB(4));
+  auto runs = alloc.Allocate(0);
+  ASSERT_TRUE(runs.ok());
+  EXPECT_TRUE(runs->empty());
+}
+
+TEST(FrameAllocatorTest, ExhaustionIsOutOfMemory) {
+  FrameAllocator alloc(10, KiB(4));
+  ASSERT_TRUE(alloc.Allocate(10).ok());
+  auto more = alloc.Allocate(1);
+  EXPECT_FALSE(more.ok());
+  EXPECT_TRUE(IsOutOfMemory(more.status()));
+}
+
+TEST(FrameAllocatorTest, FreeMakesFramesReusable) {
+  FrameAllocator alloc(10, KiB(4));
+  auto runs = alloc.Allocate(10);
+  ASSERT_TRUE(runs.ok());
+  ASSERT_TRUE(alloc.Free(*runs).ok());
+  EXPECT_EQ(alloc.free_frames(), 10u);
+  EXPECT_TRUE(alloc.Allocate(10).ok());
+}
+
+TEST(FrameAllocatorTest, DoubleFreeRejectedAtomically) {
+  FrameAllocator alloc(10, KiB(4));
+  auto runs = alloc.Allocate(5);
+  ASSERT_TRUE(runs.ok());
+  ASSERT_TRUE(alloc.Free(*runs).ok());
+  EXPECT_FALSE(alloc.Free(*runs).ok());
+  EXPECT_EQ(alloc.free_frames(), 10u);  // state unchanged by bad free
+}
+
+TEST(FrameAllocatorTest, OutOfRangeFreeRejected) {
+  FrameAllocator alloc(10, KiB(4));
+  EXPECT_FALSE(alloc.Free({FrameRun{5, 10}}).ok());
+}
+
+TEST(FrameAllocatorTest, FragmentedAllocationSpansHoles) {
+  FrameAllocator alloc(10, KiB(4));
+  auto a = alloc.Allocate(4);   // frames 0-3
+  auto b = alloc.Allocate(2);   // frames 4-5
+  auto c = alloc.Allocate(4);   // frames 6-9
+  ASSERT_TRUE(a.ok() && b.ok() && c.ok());
+  ASSERT_TRUE(alloc.Free(*a).ok());
+  ASSERT_TRUE(alloc.Free(*c).ok());
+  // 8 free frames in two disjoint regions; allocation must span both.
+  auto d = alloc.Allocate(8);
+  ASSERT_TRUE(d.ok());
+  EXPECT_GE(d->size(), 2u);
+  EXPECT_EQ(alloc.free_frames(), 0u);
+}
+
+TEST(FrameAllocatorTest, GrowAddsFreeFrames) {
+  FrameAllocator alloc(10, KiB(4));
+  ASSERT_TRUE(alloc.Resize(20).ok());
+  EXPECT_EQ(alloc.num_frames(), 20u);
+  EXPECT_EQ(alloc.free_frames(), 20u);
+}
+
+TEST(FrameAllocatorTest, ShrinkBlockedByLiveFrames) {
+  FrameAllocator alloc(10, KiB(4));
+  auto runs = alloc.Allocate(8);
+  ASSERT_TRUE(runs.ok());
+  EXPECT_FALSE(alloc.Resize(4).ok());  // frames 0-7 live
+  ASSERT_TRUE(alloc.Free(*runs).ok());
+  EXPECT_TRUE(alloc.Resize(4).ok());
+  EXPECT_EQ(alloc.num_frames(), 4u);
+}
+
+TEST(FrameAllocatorTest, CapacityArithmetic) {
+  FrameAllocator alloc(16, KiB(64));
+  EXPECT_EQ(alloc.capacity_bytes(), MiB(1));
+  ASSERT_TRUE(alloc.Allocate(4).ok());
+  EXPECT_EQ(alloc.free_bytes(), KiB(64) * 12);
+}
+
+TEST(FrameAllocatorTest, IsAllocatedTracksState) {
+  FrameAllocator alloc(4, KiB(4));
+  EXPECT_FALSE(alloc.IsAllocated(0));
+  auto runs = alloc.Allocate(1);
+  ASSERT_TRUE(runs.ok());
+  EXPECT_TRUE(alloc.IsAllocated((*runs)[0].first));
+  EXPECT_FALSE(alloc.IsAllocated(99));  // out of range is not allocated
+}
+
+TEST(FramesForBytesTest, RoundsUp) {
+  EXPECT_EQ(FramesForBytes(1, KiB(4)), 1u);
+  EXPECT_EQ(FramesForBytes(KiB(4), KiB(4)), 1u);
+  EXPECT_EQ(FramesForBytes(KiB(4) + 1, KiB(4)), 2u);
+  EXPECT_EQ(FramesForBytes(0, KiB(4)), 0u);
+}
+
+// --- LruCache -------------------------------------------------------------------
+
+TEST(LruCacheTest, MissThenHit) {
+  LruCache cache(4);
+  EXPECT_FALSE(cache.Access(1));
+  EXPECT_TRUE(cache.Access(1));
+  EXPECT_EQ(cache.stats().hits, 1u);
+  EXPECT_EQ(cache.stats().misses, 1u);
+}
+
+TEST(LruCacheTest, EvictsLeastRecentlyUsed) {
+  LruCache cache(2);
+  cache.Access(1);
+  cache.Access(2);
+  cache.Access(1);      // 1 is now MRU
+  cache.Access(3);      // evicts 2
+  EXPECT_TRUE(cache.Contains(1));
+  EXPECT_FALSE(cache.Contains(2));
+  EXPECT_TRUE(cache.Contains(3));
+  auto evicted = cache.TakeEvicted();
+  ASSERT_TRUE(evicted.has_value());
+  EXPECT_EQ(evicted->page, 2u);
+}
+
+TEST(LruCacheTest, DirtyEvictionTracked) {
+  LruCache cache(1);
+  cache.Access(1, /*write=*/true);
+  cache.Access(2);
+  EXPECT_EQ(cache.stats().dirty_evictions, 1u);
+  auto evicted = cache.TakeEvicted();
+  ASSERT_TRUE(evicted.has_value());
+  EXPECT_TRUE(evicted->dirty);
+}
+
+TEST(LruCacheTest, SequentialSweepLargerThanCacheNeverHits) {
+  // The paper's Physical-cache pathology: a cyclic sequential scan larger
+  // than the cache has 0% hit rate under LRU.
+  LruCache cache(100);
+  for (int rep = 0; rep < 3; ++rep) {
+    for (PageId p = 0; p < 150; ++p) cache.Access(p);
+  }
+  EXPECT_EQ(cache.stats().hits, 0u);
+}
+
+TEST(LruCacheTest, SweepThatFitsAlwaysHitsAfterFirstPass) {
+  LruCache cache(200);
+  for (PageId p = 0; p < 150; ++p) cache.Access(p);
+  cache.ResetStats();
+  for (PageId p = 0; p < 150; ++p) cache.Access(p);
+  EXPECT_DOUBLE_EQ(cache.stats().HitRate(), 1.0);
+}
+
+TEST(LruCacheTest, InvalidateRemoves) {
+  LruCache cache(4);
+  cache.Access(7);
+  cache.Invalidate(7);
+  EXPECT_FALSE(cache.Contains(7));
+  cache.Invalidate(99);  // absent: no-op
+}
+
+TEST(LruCacheTest, ShrinkEvictsDownToCapacity) {
+  LruCache cache(4);
+  for (PageId p = 0; p < 4; ++p) cache.Access(p);
+  cache.SetCapacity(2);
+  EXPECT_EQ(cache.size(), 2u);
+  EXPECT_TRUE(cache.Contains(3));  // most recent survive
+  EXPECT_FALSE(cache.Contains(0));
+}
+
+TEST(LruCacheTest, ClearEmpties) {
+  LruCache cache(4);
+  cache.Access(1);
+  cache.Clear();
+  EXPECT_EQ(cache.size(), 0u);
+  EXPECT_FALSE(cache.Contains(1));
+}
+
+TEST(LruCacheTest, ContainsDoesNotPerturbRecency) {
+  LruCache cache(2);
+  cache.Access(1);
+  cache.Access(2);
+  (void)cache.Contains(1);  // must NOT promote 1
+  cache.Access(3);          // evicts 1 (LRU), not 2
+  EXPECT_FALSE(cache.Contains(1));
+  EXPECT_TRUE(cache.Contains(2));
+}
+
+// --- BackingStore ------------------------------------------------------------------
+
+TEST(BackingStoreTest, FrameRoundTrip) {
+  BackingStore store(4, KiB(4));
+  auto frame = store.Frame(2);
+  frame[0] = std::byte{0xAB};
+  EXPECT_EQ(store.Frame(2)[0], std::byte{0xAB});
+  EXPECT_EQ(store.num_frames(), 4u);
+}
+
+TEST(BackingStoreTest, ByteAddressedReadWriteSpansFrames) {
+  BackingStore store(2, 16);
+  std::vector<std::byte> in(20);
+  for (std::size_t i = 0; i < in.size(); ++i) in[i] = std::byte{(uint8_t)i};
+  store.Write(10, in);  // crosses the frame boundary at 16
+  std::vector<std::byte> out(20);
+  store.Read(10, out);
+  EXPECT_EQ(in, out);
+}
+
+TEST(BackingStoreTest, EnsureFramesGrows) {
+  BackingStore store(2, KiB(4));
+  store.EnsureFrames(8);
+  EXPECT_EQ(store.num_frames(), 8u);
+  store.EnsureFrames(4);  // never shrinks
+  EXPECT_EQ(store.num_frames(), 8u);
+}
+
+// --- NumaDistanceMatrix ----------------------------------------------------------------
+
+TEST(NumaTest, SelfDistanceIsTen) {
+  NumaDistanceMatrix m(4);
+  EXPECT_EQ(m.Distance(2, 2), NumaDistanceMatrix::kSelfDistance);
+  EXPECT_EQ(m.Distance(0, 3), 20);
+}
+
+TEST(NumaTest, SetDistanceIsSymmetric) {
+  NumaDistanceMatrix m(4);
+  m.SetDistance(0, 1, 15);
+  EXPECT_EQ(m.Distance(0, 1), 15);
+  EXPECT_EQ(m.Distance(1, 0), 15);
+}
+
+TEST(NumaTest, NearestPrefersCloser) {
+  NumaDistanceMatrix m(4);
+  m.SetDistance(0, 2, 12);
+  m.SetDistance(0, 3, 40);
+  EXPECT_EQ(m.Nearest(0, {3, 2}), 2);
+  EXPECT_EQ(m.Nearest(0, {0, 2}), 0);  // self wins
+}
+
+}  // namespace
+}  // namespace lmp::mem

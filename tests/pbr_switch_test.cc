@@ -1,0 +1,143 @@
+// Tests for the PBR fabric: routing-table construction, route resolution,
+// hop counts, and multi-rack timing composition with the fluid simulator.
+#include <gtest/gtest.h>
+
+#include "fabric/pbr_switch.h"
+#include "sim/stream.h"
+
+namespace lmp::fabric {
+namespace {
+
+TEST(PbrFabricTest, SingleSwitchStar) {
+  sim::FluidSimulator sim;
+  PbrFabric fabric(&sim);
+  const NodeId sw = fabric.AddSwitch("sw");
+  auto a = fabric.AddEndpoint("a");
+  auto b = fabric.AddEndpoint("b");
+  ASSERT_TRUE(a.ok() && b.ok());
+  ASSERT_TRUE(fabric.Link(*a, sw, GBps(34.5)).ok());
+  ASSERT_TRUE(fabric.Link(*b, sw, GBps(34.5)).ok());
+  ASSERT_TRUE(fabric.Commit().ok());
+
+  auto route = fabric.Route(*a, *b);
+  ASSERT_TRUE(route.ok());
+  EXPECT_EQ(route->size(), 2u);  // a->sw, sw->b
+  EXPECT_EQ(*fabric.HopCount(*a, *b), 2);
+  EXPECT_EQ(fabric.switch_count(), 1);
+  EXPECT_EQ(fabric.endpoint_count(), 2);
+}
+
+TEST(PbrFabricTest, PbrIdsAreSequential) {
+  sim::FluidSimulator sim;
+  PbrFabric fabric(&sim);
+  auto a = fabric.AddEndpoint("a");
+  auto b = fabric.AddEndpoint("b");
+  ASSERT_TRUE(a.ok() && b.ok());
+  EXPECT_EQ(*fabric.PbrIdOf(*a), 0);
+  EXPECT_EQ(*fabric.PbrIdOf(*b), 1);
+  EXPECT_FALSE(fabric.PbrIdOf(999).ok());
+}
+
+TEST(PbrFabricTest, RouteToSelfIsEmpty) {
+  sim::FluidSimulator sim;
+  PbrFabric fabric(&sim);
+  const NodeId sw = fabric.AddSwitch("sw");
+  auto a = fabric.AddEndpoint("a");
+  auto b = fabric.AddEndpoint("b");
+  ASSERT_TRUE(fabric.Link(*a, sw, GBps(1)).ok());
+  ASSERT_TRUE(fabric.Link(*b, sw, GBps(1)).ok());
+  ASSERT_TRUE(fabric.Commit().ok());
+  auto route = fabric.Route(*a, *a);
+  ASSERT_TRUE(route.ok());
+  EXPECT_TRUE(route->empty());
+}
+
+TEST(PbrFabricTest, UnreachableEndpointFailsCommit) {
+  sim::FluidSimulator sim;
+  PbrFabric fabric(&sim);
+  auto a = fabric.AddEndpoint("a");
+  auto b = fabric.AddEndpoint("b");  // no links at all
+  ASSERT_TRUE(a.ok() && b.ok());
+  EXPECT_FALSE(fabric.Commit().ok());
+}
+
+TEST(PbrFabricTest, FrozenAfterCommit) {
+  sim::FluidSimulator sim;
+  PbrFabric fabric(&sim);
+  const NodeId sw = fabric.AddSwitch("sw");
+  auto a = fabric.AddEndpoint("a");
+  auto b = fabric.AddEndpoint("b");
+  ASSERT_TRUE(fabric.Link(*a, sw, GBps(1)).ok());
+  ASSERT_TRUE(fabric.Link(*b, sw, GBps(1)).ok());
+  ASSERT_TRUE(fabric.Commit().ok());
+  EXPECT_FALSE(fabric.AddEndpoint("late").ok());
+  EXPECT_FALSE(fabric.Link(*a, *b, GBps(1)).ok());
+  EXPECT_FALSE(fabric.Commit().ok());  // double commit
+}
+
+TEST(PbrFabricTest, RouteBeforeCommitRejected) {
+  sim::FluidSimulator sim;
+  PbrFabric fabric(&sim);
+  auto a = fabric.AddEndpoint("a");
+  auto b = fabric.AddEndpoint("b");
+  ASSERT_TRUE(a.ok() && b.ok());
+  EXPECT_FALSE(fabric.Route(*a, *b).ok());
+}
+
+TEST(PbrFabricTest, DualRackCrossTrafficTakesThreeHops) {
+  sim::FluidSimulator sim;
+  auto topo = MakeDualRack(&sim, 2, GBps(34.5), GBps(34.5));
+  // Same rack: endpoint -> leaf -> endpoint.
+  EXPECT_EQ(*topo.fabric->HopCount(topo.rack0[0], topo.rack0[1]), 2);
+  // Cross rack: endpoint -> leaf0 -> leaf1 -> endpoint.
+  EXPECT_EQ(*topo.fabric->HopCount(topo.rack0[0], topo.rack1[0]), 3);
+}
+
+TEST(PbrFabricTest, EgressPortsDifferPerDestination) {
+  sim::FluidSimulator sim;
+  PbrFabric fabric(&sim);
+  const NodeId sw = fabric.AddSwitch("sw");
+  auto a = fabric.AddEndpoint("a");
+  auto b = fabric.AddEndpoint("b");
+  auto c = fabric.AddEndpoint("c");
+  ASSERT_TRUE(fabric.Link(sw, *a, GBps(1)).ok());
+  ASSERT_TRUE(fabric.Link(sw, *b, GBps(1)).ok());
+  ASSERT_TRUE(fabric.Link(sw, *c, GBps(1)).ok());
+  ASSERT_TRUE(fabric.Commit().ok());
+  auto to_b = fabric.EgressPort(sw, *fabric.PbrIdOf(*b));
+  auto to_c = fabric.EgressPort(sw, *fabric.PbrIdOf(*c));
+  ASSERT_TRUE(to_b.ok() && to_c.ok());
+  EXPECT_NE(*to_b, *to_c);
+}
+
+// Timing composition: the inter-rack trunk becomes the bottleneck when
+// both rack-0 servers pull from rack 1 concurrently.
+TEST(PbrFabricTest, TrunkBottleneckUnderCrossRackLoad) {
+  sim::FluidSimulator sim;
+  auto topo = MakeDualRack(&sim, 2, GBps(34.5), GBps(21.0));
+  std::vector<std::unique_ptr<sim::SpanStream>> streams;
+  for (int s = 0; s < 2; ++s) {
+    auto route = topo.fabric->Route(topo.rack1[s], topo.rack0[s]);
+    ASSERT_TRUE(route.ok());
+    streams.push_back(std::make_unique<sim::SpanStream>(
+        &sim, std::vector<sim::Span>{sim::Span{10e9, *route}}));
+  }
+  const auto result = sim::RunStreams(&sim, std::move(streams));
+  // Two flows share the 21 GB/s trunk.
+  EXPECT_NEAR(result.gbps, 21.0, 0.1);
+}
+
+TEST(PbrFabricTest, SameRackTrafficAvoidsTrunk) {
+  sim::FluidSimulator sim;
+  auto topo = MakeDualRack(&sim, 2, GBps(34.5), GBps(1.0));  // tiny trunk
+  auto route = topo.fabric->Route(topo.rack0[0], topo.rack0[1]);
+  ASSERT_TRUE(route.ok());
+  std::vector<std::unique_ptr<sim::SpanStream>> streams;
+  streams.push_back(std::make_unique<sim::SpanStream>(
+      &sim, std::vector<sim::Span>{sim::Span{10e9, *route}}));
+  const auto result = sim::RunStreams(&sim, std::move(streams));
+  EXPECT_NEAR(result.gbps, 34.5, 0.1);  // full edge speed; trunk untouched
+}
+
+}  // namespace
+}  // namespace lmp::fabric

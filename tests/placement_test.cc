@@ -1,0 +1,169 @@
+// Tests for placement policies, including a parameterized sweep asserting
+// invariants every policy must satisfy.
+#include <gtest/gtest.h>
+
+#include <numeric>
+
+#include "cluster/cluster.h"
+#include "core/placement.h"
+
+namespace lmp::core {
+namespace {
+
+cluster::ClusterConfig SmallConfig() {
+  cluster::ClusterConfig config;
+  config.num_servers = 4;
+  config.server_total_memory = MiB(16);
+  config.server_shared_memory = MiB(16);
+  config.frame_size = KiB(4);
+  return config;
+}
+
+Bytes TotalPlaced(const std::vector<PlacementChunk>& chunks) {
+  return std::accumulate(chunks.begin(), chunks.end(), Bytes{0},
+                         [](Bytes acc, const PlacementChunk& c) {
+                           return acc + c.bytes;
+                         });
+}
+
+// --- Shared invariants over all policies --------------------------------------
+
+class PlacementPolicyParamTest
+    : public ::testing::TestWithParam<const char*> {};
+
+TEST_P(PlacementPolicyParamTest, PlacesExactlyRequestedBytes) {
+  cluster::Cluster cluster(SmallConfig());
+  auto policy = MakePlacementPolicy(GetParam());
+  ASSERT_NE(policy, nullptr);
+  auto chunks = policy->Place(cluster, MiB(10), 0);
+  ASSERT_TRUE(chunks.ok());
+  EXPECT_EQ(TotalPlaced(*chunks), MiB(10));
+}
+
+TEST_P(PlacementPolicyParamTest, NeverExceedsServerCapacity) {
+  cluster::Cluster cluster(SmallConfig());
+  auto policy = MakePlacementPolicy(GetParam());
+  auto chunks = policy->Place(cluster, MiB(60), 0);
+  ASSERT_TRUE(chunks.ok());
+  std::vector<Bytes> per_server(4, 0);
+  for (const auto& c : *chunks) per_server[c.server] += c.bytes;
+  for (int s = 0; s < 4; ++s) {
+    EXPECT_LE(per_server[s], MiB(16)) << "server " << s;
+  }
+}
+
+TEST_P(PlacementPolicyParamTest, OverCapacityIsOutOfMemory) {
+  cluster::Cluster cluster(SmallConfig());
+  auto policy = MakePlacementPolicy(GetParam());
+  auto chunks = policy->Place(cluster, MiB(65), 0);  // pool holds 64
+  EXPECT_FALSE(chunks.ok());
+  EXPECT_TRUE(IsOutOfMemory(chunks.status()));
+}
+
+TEST_P(PlacementPolicyParamTest, SkipsCrashedServers) {
+  cluster::Cluster cluster(SmallConfig());
+  cluster.server(2).Crash();
+  auto policy = MakePlacementPolicy(GetParam());
+  auto chunks = policy->Place(cluster, MiB(40), 0);
+  ASSERT_TRUE(chunks.ok());
+  for (const auto& c : *chunks) EXPECT_NE(c.server, 2u);
+}
+
+TEST_P(PlacementPolicyParamTest, AllServersCrashedIsUnavailable) {
+  cluster::Cluster cluster(SmallConfig());
+  for (int s = 0; s < 4; ++s) cluster.server(s).Crash();
+  auto policy = MakePlacementPolicy(GetParam());
+  EXPECT_TRUE(IsUnavailable(policy->Place(cluster, MiB(1), 0).status()));
+}
+
+INSTANTIATE_TEST_SUITE_P(AllPolicies, PlacementPolicyParamTest,
+                         ::testing::Values("local-first", "round-robin",
+                                           "capacity-weighted"));
+
+// --- Policy-specific behaviour ---------------------------------------------------
+
+TEST(LocalFirstTest, PrefersRequestingServer) {
+  cluster::Cluster cluster(SmallConfig());
+  LocalFirstPlacement policy;
+  auto chunks = policy.Place(cluster, MiB(8), 2);
+  ASSERT_TRUE(chunks.ok());
+  ASSERT_EQ(chunks->size(), 1u);
+  EXPECT_EQ((*chunks)[0].server, 2u);
+}
+
+TEST(LocalFirstTest, SpillsToEmptiestPeerAfterFillingLocal) {
+  cluster::Cluster cluster(SmallConfig());
+  // Pre-consume most of server 1 so the spill should pick 0 or 3.
+  auto pre = cluster.server(1).shared_allocator().Allocate(
+      mem::FramesForBytes(MiB(12), KiB(4)));
+  ASSERT_TRUE(pre.ok());
+  LocalFirstPlacement policy;
+  auto chunks = policy.Place(cluster, MiB(24), 2);
+  ASSERT_TRUE(chunks.ok());
+  EXPECT_EQ((*chunks)[0].server, 2u);
+  EXPECT_EQ((*chunks)[0].bytes, MiB(16));  // local filled completely
+  EXPECT_NE((*chunks)[1].server, 1u);      // fullest peer not chosen next
+}
+
+TEST(LocalFirstTest, ReproducesPaperLayouts) {
+  // The §4.3/§4.5 layouts on the 4x24 GB logical deployment.
+  cluster::ClusterConfig config = cluster::ClusterConfig::PaperLogical();
+  cluster::Cluster cluster(config);
+  LocalFirstPlacement policy;
+  // 24 GB fits entirely on the runner.
+  auto c24 = policy.Place(cluster, GiB(24), 0);
+  ASSERT_TRUE(c24.ok());
+  EXPECT_EQ(c24->size(), 1u);
+  // 64 GB: 24 local (3/8 of the vector), 40 spread on peers.
+  auto c64 = policy.Place(cluster, GiB(64), 0);
+  ASSERT_TRUE(c64.ok());
+  EXPECT_EQ((*c64)[0].server, 0u);
+  EXPECT_EQ((*c64)[0].bytes, GiB(24));
+  // 96 GB fills every server.
+  auto c96 = policy.Place(cluster, GiB(96), 0);
+  ASSERT_TRUE(c96.ok());
+  EXPECT_EQ(c96->size(), 4u);
+  for (const auto& c : *c96) EXPECT_EQ(c.bytes, GiB(24));
+}
+
+TEST(RoundRobinTest, SpreadsAcrossServers) {
+  cluster::Cluster cluster(SmallConfig());
+  RoundRobinPlacement policy(MiB(1));
+  auto chunks = policy.Place(cluster, MiB(8), 0);
+  ASSERT_TRUE(chunks.ok());
+  EXPECT_EQ(chunks->size(), 4u);  // 2 MiB each
+  for (const auto& c : *chunks) EXPECT_EQ(c.bytes, MiB(2));
+}
+
+TEST(RoundRobinTest, CursorAdvancesBetweenCalls) {
+  cluster::Cluster cluster(SmallConfig());
+  RoundRobinPlacement policy(MiB(1));
+  auto first = policy.Place(cluster, MiB(1), 0);
+  auto second = policy.Place(cluster, MiB(1), 0);
+  ASSERT_TRUE(first.ok() && second.ok());
+  EXPECT_NE((*first)[0].server, (*second)[0].server);
+}
+
+TEST(CapacityWeightedTest, ProportionalToFreeSpace) {
+  cluster::Cluster cluster(SmallConfig());
+  // Make server 0 half-full: free = 8,16,16,16.
+  auto pre = cluster.server(0).shared_allocator().Allocate(
+      mem::FramesForBytes(MiB(8), KiB(4)));
+  ASSERT_TRUE(pre.ok());
+  CapacityWeightedPlacement policy;
+  auto chunks = policy.Place(cluster, MiB(28), 0);  // half of 56 free
+  ASSERT_TRUE(chunks.ok());
+  std::vector<Bytes> per_server(4, 0);
+  for (const auto& c : *chunks) per_server[c.server] += c.bytes;
+  // Server 0 gets about half what the others do.
+  EXPECT_NEAR(static_cast<double>(per_server[0]),
+              static_cast<double>(per_server[1]) / 2, double(MiB(1)));
+}
+
+TEST(MakePlacementPolicyTest, UnknownNameIsNull) {
+  EXPECT_EQ(MakePlacementPolicy("nope"), nullptr);
+  EXPECT_NE(MakePlacementPolicy("local-first"), nullptr);
+}
+
+}  // namespace
+}  // namespace lmp::core

@@ -1,0 +1,154 @@
+// Tests for LmpRuntime's background tasks (§3.2) and the lmp::Pool facade.
+#include <gtest/gtest.h>
+
+#include "core/lmp.h"
+#include "core/runtime.h"
+
+namespace lmp {
+namespace {
+
+using core::ServerDemand;
+
+cluster::ClusterConfig SmallCluster() {
+  cluster::ClusterConfig config;
+  config.num_servers = 4;
+  config.server_total_memory = MiB(4);
+  config.server_shared_memory = MiB(4);
+  config.frame_size = KiB(4);
+  config.with_backing = true;
+  return config;
+}
+
+TEST(RuntimeTest, MigrationRunsOnPeriod) {
+  cluster::Cluster cluster(SmallCluster());
+  core::PoolManager manager(&cluster);
+  core::RuntimeConfig config;
+  config.migration_period = Milliseconds(10);
+  config.enable_sizing = false;
+  core::LmpRuntime runtime(&manager, config);
+
+  auto buf = manager.Allocate(KiB(64), 0);
+  ASSERT_TRUE(buf.ok());
+  const auto seg = manager.Describe(*buf)->segments[0];
+  manager.access_tracker().RecordAccess(seg, 2, double(MiB(2)), 0);
+
+  // First tick runs immediately; the segment moves.
+  auto records = runtime.Tick(0);
+  ASSERT_EQ(records.size(), 1u);
+  EXPECT_EQ(records[0].to.server, 2u);
+  EXPECT_EQ(runtime.stats().migrations, 1u);
+
+  // Within the period: no new round.
+  manager.access_tracker().RecordAccess(seg, 3, double(MiB(4)), 0);
+  EXPECT_TRUE(runtime.Tick(Milliseconds(5)).empty());
+  // After the period: the new dominant accessor wins.
+  EXPECT_EQ(runtime.Tick(Milliseconds(20)).size(), 1u);
+}
+
+TEST(RuntimeTest, SizingAppliesDemands) {
+  cluster::ClusterConfig config = SmallCluster();
+  config.server_shared_memory = 0;
+  cluster::Cluster cluster(config);
+  core::PoolManager manager(&cluster);
+  core::RuntimeConfig rt_config;
+  rt_config.enable_migration = false;
+  core::LmpRuntime runtime(&manager, rt_config);
+
+  runtime.SetDemand(ServerDemand{0, MiB(1), MiB(2), 1.0});
+  runtime.SetDemand(ServerDemand{1, MiB(1), 0, 1.0});
+  runtime.SetDemand(ServerDemand{2, MiB(1), 0, 1.0});
+  runtime.SetDemand(ServerDemand{3, MiB(1), 0, 1.0});
+  runtime.Tick(0);
+  EXPECT_EQ(runtime.stats().sizing_rounds, 1u);
+  EXPECT_EQ(cluster.server(0).shared_bytes(), MiB(2));
+}
+
+TEST(RuntimeTest, RunAllNowForcesBothTasks) {
+  cluster::Cluster cluster(SmallCluster());
+  core::PoolManager manager(&cluster);
+  core::LmpRuntime runtime(&manager);
+  runtime.SetDemand(ServerDemand{0, 0, MiB(1), 1.0});
+  runtime.RunAllNow(0);
+  EXPECT_EQ(runtime.stats().migration_rounds, 1u);
+  EXPECT_EQ(runtime.stats().sizing_rounds, 1u);
+}
+
+TEST(RuntimeTest, DisabledTasksDoNotRun) {
+  cluster::Cluster cluster(SmallCluster());
+  core::PoolManager manager(&cluster);
+  core::RuntimeConfig config;
+  config.enable_migration = false;
+  config.enable_sizing = false;
+  core::LmpRuntime runtime(&manager, config);
+  runtime.SetDemand(ServerDemand{0, 0, MiB(1), 1.0});
+  runtime.Tick(0);
+  runtime.Tick(Seconds(10));
+  EXPECT_EQ(runtime.stats().migration_rounds, 0u);
+  EXPECT_EQ(runtime.stats().sizing_rounds, 0u);
+}
+
+// --- lmp::Pool facade -------------------------------------------------------
+
+TEST(PoolFacadeTest, CreateSmallAndRoundTrip) {
+  auto pool_or = Pool::Create(PoolOptions::Small());
+  ASSERT_TRUE(pool_or.ok());
+  Pool& pool = **pool_or;
+  auto buf = pool.Allocate(KiB(64), 0);
+  ASSERT_TRUE(buf.ok());
+  std::vector<double> in(100, 2.5);
+  ASSERT_TRUE(pool.WriteArray<double>(0, *buf, 0,
+                                      std::span<const double>(in)).ok());
+  std::vector<double> out(100);
+  ASSERT_TRUE(pool.ReadArray<double>(1, *buf, 0,
+                                     std::span<double>(out)).ok());
+  EXPECT_EQ(in, out);
+  EXPECT_TRUE(pool.Free(*buf).ok());
+}
+
+TEST(PoolFacadeTest, RejectsBadOptions) {
+  PoolOptions opts = PoolOptions::Small();
+  opts.cluster.num_servers = 0;
+  EXPECT_FALSE(Pool::Create(opts).ok());
+  opts = PoolOptions::Small();
+  opts.cluster.num_servers = 100;
+  EXPECT_FALSE(Pool::Create(opts).ok());
+  opts = PoolOptions::Small();
+  opts.coherent_bytes = 100;  // not a granularity multiple
+  opts.coherence_granularity = 64;
+  EXPECT_FALSE(Pool::Create(opts).ok());
+}
+
+TEST(PoolFacadeTest, PaperOptionsMatchSection41) {
+  const PoolOptions opts = PoolOptions::Paper();
+  EXPECT_EQ(opts.cluster.num_servers, 4);
+  EXPECT_EQ(opts.cluster.server_total_memory, GiB(24));
+  EXPECT_EQ(opts.cluster.server_shared_memory, GiB(24));
+  EXPECT_FALSE(opts.cluster.physical_pool);
+}
+
+TEST(PoolFacadeTest, TickDrivesMigration) {
+  PoolOptions opts = PoolOptions::Small();
+  opts.runtime.migration_period = 0;
+  auto pool_or = Pool::Create(opts);
+  ASSERT_TRUE(pool_or.ok());
+  Pool& pool = **pool_or;
+  auto buf = pool.Allocate(KiB(64), 0);
+  ASSERT_TRUE(buf.ok());
+  const auto seg = pool.manager().Describe(*buf)->segments[0];
+  pool.manager().access_tracker().RecordAccess(seg, 3, double(MiB(1)), 0);
+  const auto records = pool.Tick(0);
+  ASSERT_EQ(records.size(), 1u);
+  EXPECT_EQ(records[0].to.server, 3u);
+}
+
+TEST(PoolFacadeTest, ComponentsAccessible) {
+  auto pool_or = Pool::Create(PoolOptions::Small());
+  ASSERT_TRUE(pool_or.ok());
+  Pool& pool = **pool_or;
+  EXPECT_EQ(pool.cluster().num_servers(), 4);
+  EXPECT_EQ(pool.coherent().num_hosts(), 4);
+  EXPECT_EQ(pool.replication().replication_factor(), 1);
+}
+
+}  // namespace
+}  // namespace lmp

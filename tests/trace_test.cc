@@ -1,0 +1,141 @@
+// Tests for trace generation and replay.
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "workloads/trace.h"
+
+namespace lmp::workloads {
+namespace {
+
+cluster::ClusterConfig Config() {
+  cluster::ClusterConfig config;
+  config.num_servers = 4;
+  config.server_total_memory = MiB(8);
+  config.server_shared_memory = MiB(8);
+  config.frame_size = KiB(4);
+  return config;
+}
+
+TEST(TraceGeneratorTest, SequentialCoversBufferExactly) {
+  const Trace trace = TraceGenerator::Sequential(0, 0, KiB(10), KiB(4));
+  ASSERT_EQ(trace.size(), 3u);
+  Bytes total = 0;
+  Bytes expected_off = 0;
+  for (const TraceOp& op : trace) {
+    EXPECT_EQ(op.offset, expected_off);
+    expected_off += op.length;
+    total += op.length;
+  }
+  EXPECT_EQ(total, KiB(10));  // tail op is the 2 KiB remainder
+}
+
+TEST(TraceGeneratorTest, StridedSkips) {
+  const Trace trace = TraceGenerator::Strided(0, 0, KiB(64), KiB(4), 4);
+  ASSERT_EQ(trace.size(), 4u);  // offsets 0, 16K, 32K, 48K
+  EXPECT_EQ(trace[1].offset, KiB(16));
+}
+
+TEST(TraceGeneratorTest, UniformRandomInBoundsAndDeterministic) {
+  const Trace a = TraceGenerator::UniformRandom(1, 0, KiB(64), KiB(4), 100,
+                                                7);
+  const Trace b = TraceGenerator::UniformRandom(1, 0, KiB(64), KiB(4), 100,
+                                                7);
+  ASSERT_EQ(a.size(), 100u);
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    EXPECT_LT(a[i].offset + a[i].length, KiB(64) + 1);
+    EXPECT_EQ(a[i].offset % KiB(4), 0u);
+    EXPECT_EQ(a[i].offset, b[i].offset);  // same seed, same trace
+  }
+}
+
+TEST(TraceGeneratorTest, ZipfConcentratesOnFewBuffers) {
+  const Trace trace = TraceGenerator::ZipfOverBuffers(
+      0, 64, KiB(64), KiB(4), 0.99, 5000, 3);
+  std::vector<int> counts(64, 0);
+  for (const TraceOp& op : trace) ++counts[op.buffer_index];
+  // The hottest buffer should dwarf the median.
+  std::vector<int> sorted = counts;
+  std::sort(sorted.rbegin(), sorted.rend());
+  EXPECT_GT(sorted[0], 10 * std::max(sorted[32], 1));
+}
+
+TEST(TraceGeneratorTest, InterleaveRoundRobins) {
+  const Trace a = TraceGenerator::Sequential(0, 0, KiB(8), KiB(4));
+  const Trace b = TraceGenerator::Sequential(1, 1, KiB(8), KiB(4));
+  const Trace mixed = TraceGenerator::Interleave({a, b});
+  ASSERT_EQ(mixed.size(), 4u);
+  EXPECT_EQ(mixed[0].from, 0u);
+  EXPECT_EQ(mixed[1].from, 1u);
+  EXPECT_EQ(mixed[2].from, 0u);
+}
+
+class TraceReplayTest : public ::testing::Test {
+ protected:
+  TraceReplayTest() : cluster_(Config()), manager_(&cluster_) {}
+  cluster::Cluster cluster_;
+  core::PoolManager manager_;
+};
+
+TEST_F(TraceReplayTest, LocalityAccountingMatchesPlacement) {
+  auto local = manager_.Allocate(MiB(1), 0);
+  auto remote = manager_.Allocate(MiB(1), 2);
+  ASSERT_TRUE(local.ok() && remote.ok());
+  TraceReplayer replayer(&manager_, {*local, *remote});
+
+  Trace trace;
+  // Server 0 reads both buffers fully.
+  for (const Trace& t :
+       {TraceGenerator::Sequential(0, 0, MiB(1), KiB(64)),
+        TraceGenerator::Sequential(0, 1, MiB(1), KiB(64))}) {
+    trace.insert(trace.end(), t.begin(), t.end());
+  }
+  auto stats = replayer.Replay(trace);
+  ASSERT_TRUE(stats.ok());
+  EXPECT_DOUBLE_EQ(stats->local_bytes, double(MiB(1)));
+  EXPECT_DOUBLE_EQ(stats->remote_bytes, double(MiB(1)));
+  EXPECT_DOUBLE_EQ(stats->LocalFraction(), 0.5);
+  EXPECT_EQ(stats->ops, 32u);
+}
+
+TEST_F(TraceReplayTest, ReplayFeedsHotnessProfile) {
+  auto buf = manager_.Allocate(MiB(1), 1);
+  ASSERT_TRUE(buf.ok());
+  TraceReplayer replayer(&manager_, {*buf});
+  auto stats = replayer.Replay(
+      TraceGenerator::Sequential(3, 0, MiB(1), KiB(64)), Seconds(1));
+  ASSERT_TRUE(stats.ok());
+  const auto seg = manager_.Describe(*buf)->segments[0];
+  core::AccessTracker::DominantAccessor dom;
+  ASSERT_TRUE(manager_.access_tracker().Dominant(seg, Seconds(1), &dom));
+  EXPECT_EQ(dom.server, 3u);
+}
+
+TEST_F(TraceReplayTest, BadBufferIndexRejected) {
+  auto buf = manager_.Allocate(MiB(1), 0);
+  ASSERT_TRUE(buf.ok());
+  TraceReplayer replayer(&manager_, {*buf});
+  Trace trace{TraceOp{0, 5, 0, KiB(4), false}};
+  EXPECT_FALSE(replayer.Replay(trace).ok());
+}
+
+TEST_F(TraceReplayTest, ReplayBeforeAndAfterMigrationShowsImprovement) {
+  auto buf = manager_.Allocate(MiB(1), 2);
+  ASSERT_TRUE(buf.ok());
+  TraceReplayer replayer(&manager_, {*buf});
+  const Trace trace = TraceGenerator::Sequential(0, 0, MiB(1), KiB(64));
+
+  auto before = replayer.Replay(trace, Seconds(1));
+  ASSERT_TRUE(before.ok());
+  EXPECT_DOUBLE_EQ(before->LocalFraction(), 0.0);
+
+  const auto seg = manager_.Describe(*buf)->segments[0];
+  ASSERT_TRUE(manager_.MigrateSegment(seg, 0).ok());
+
+  auto after = replayer.Replay(trace, Seconds(2));
+  ASSERT_TRUE(after.ok());
+  EXPECT_DOUBLE_EQ(after->LocalFraction(), 1.0);
+}
+
+}  // namespace
+}  // namespace lmp::workloads

@@ -1,0 +1,113 @@
+// Tests for TypedBuffer<T> / RemoteRef<T> — the typed application API,
+// including migration stability of element handles.
+#include <gtest/gtest.h>
+
+#include "core/typed_buffer.h"
+
+namespace lmp {
+namespace {
+
+std::unique_ptr<Pool> MakePool() {
+  auto pool = Pool::Create(PoolOptions::Small());
+  EXPECT_TRUE(pool.ok());
+  return std::move(pool).value();
+}
+
+TEST(TypedBufferTest, ElementRoundTrip) {
+  auto pool = MakePool();
+  auto buf = TypedBuffer<double>::Create(pool.get(), 1000, 0);
+  ASSERT_TRUE(buf.ok());
+  ASSERT_TRUE(buf->Set(0, 42, 3.25).ok());
+  auto v = buf->At(1, 42);
+  ASSERT_TRUE(v.ok());
+  EXPECT_DOUBLE_EQ(*v, 3.25);
+  EXPECT_EQ(buf->size(), 1000u);
+}
+
+TEST(TypedBufferTest, RangeRoundTrip) {
+  auto pool = MakePool();
+  auto buf = TypedBuffer<std::uint32_t>::Create(pool.get(), 4096, 1);
+  ASSERT_TRUE(buf.ok());
+  std::vector<std::uint32_t> in(256);
+  for (std::size_t i = 0; i < in.size(); ++i) {
+    in[i] = static_cast<std::uint32_t>(i * 3);
+  }
+  ASSERT_TRUE(buf->WriteRange(1, 100, std::span<const std::uint32_t>(in))
+                  .ok());
+  std::vector<std::uint32_t> out(256);
+  ASSERT_TRUE(buf->ReadRange(2, 100, std::span<std::uint32_t>(out)).ok());
+  EXPECT_EQ(in, out);
+}
+
+TEST(TypedBufferTest, BoundsChecked) {
+  auto pool = MakePool();
+  auto buf = TypedBuffer<int>::Create(pool.get(), 10, 0);
+  ASSERT_TRUE(buf.ok());
+  EXPECT_FALSE(buf->At(0, 10).ok());
+  EXPECT_FALSE(buf->Set(0, 99, 1).ok());
+  std::vector<int> v(5);
+  EXPECT_FALSE(buf->ReadRange(0, 8, std::span<int>(v)).ok());
+}
+
+TEST(TypedBufferTest, InvalidInputsRejected) {
+  auto pool = MakePool();
+  EXPECT_FALSE(TypedBuffer<int>::Create(nullptr, 10).ok());
+  EXPECT_FALSE(TypedBuffer<int>::Create(pool.get(), 0).ok());
+  TypedBuffer<int> empty;
+  EXPECT_FALSE(empty.valid());
+  EXPECT_FALSE(empty.At(0, 0).ok());
+}
+
+TEST(TypedBufferTest, StructElements) {
+  struct Point {
+    double x, y;
+  };
+  auto pool = MakePool();
+  auto buf = TypedBuffer<Point>::Create(pool.get(), 100, 0);
+  ASSERT_TRUE(buf.ok());
+  ASSERT_TRUE(buf->Set(0, 7, Point{1.5, -2.5}).ok());
+  auto p = buf->At(3, 7);
+  ASSERT_TRUE(p.ok());
+  EXPECT_DOUBLE_EQ(p->x, 1.5);
+  EXPECT_DOUBLE_EQ(p->y, -2.5);
+}
+
+TEST(TypedBufferTest, RefSurvivesMigration) {
+  auto pool = MakePool();
+  auto buf = TypedBuffer<std::uint64_t>::Create(pool.get(), 1024, 0);
+  ASSERT_TRUE(buf.ok());
+  RemoteRef<std::uint64_t> ref = buf->Ref(512);
+  ASSERT_TRUE(ref.Store(0, 0xFEEDFACE).ok());
+
+  // Migrate the backing segment to another server.
+  const auto seg = pool->manager().Describe(buf->id())->segments[0];
+  ASSERT_TRUE(pool->manager().MigrateSegment(seg, 3).ok());
+  auto frac = buf->LocalFraction(3);
+  ASSERT_TRUE(frac.ok());
+  EXPECT_DOUBLE_EQ(*frac, 1.0);
+
+  // The handle still resolves — the §5 address-stability property.
+  auto v = ref.Load(1);
+  ASSERT_TRUE(v.ok());
+  EXPECT_EQ(*v, 0xFEEDFACEu);
+}
+
+TEST(TypedBufferTest, ReleaseFreesAndInvalidates) {
+  auto pool = MakePool();
+  const Bytes before = pool->cluster().PooledFreeBytes();
+  auto buf = TypedBuffer<int>::Create(pool.get(), 1000, 0);
+  ASSERT_TRUE(buf.ok());
+  ASSERT_TRUE(buf->Release().ok());
+  EXPECT_EQ(pool->cluster().PooledFreeBytes(), before);
+  EXPECT_FALSE(buf->valid());
+  EXPECT_FALSE(buf->Release().ok());
+}
+
+TEST(TypedBufferTest, NullRefRejects) {
+  RemoteRef<int> ref;
+  EXPECT_FALSE(ref.Load(0).ok());
+  EXPECT_FALSE(ref.Store(0, 1).ok());
+}
+
+}  // namespace
+}  // namespace lmp

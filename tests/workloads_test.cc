@@ -1,0 +1,259 @@
+// Tests for the workloads: functional vector sum, pool KV store, graph
+// analytics (BFS + PageRank, pulled and shipped).
+#include <gtest/gtest.h>
+
+#include <cstring>
+
+#include "workloads/graph.h"
+#include "workloads/kv_store.h"
+#include "workloads/vector_sum.h"
+
+namespace lmp::workloads {
+namespace {
+
+std::unique_ptr<Pool> MakePool() {
+  auto pool_or = Pool::Create(PoolOptions::Small());
+  EXPECT_TRUE(pool_or.ok());
+  return std::move(pool_or).value();
+}
+
+// --- VectorSum ----------------------------------------------------------------
+
+TEST(VectorSumTest, SumMatchesClosedForm) {
+  auto pool = MakePool();
+  auto vs = VectorSum::Create(pool.get(), 10000, 0);
+  ASSERT_TRUE(vs.ok());
+  ASSERT_TRUE(vs->FillLinear(0, 2.0).ok());
+  auto sum = vs->SumFrom(1);
+  ASSERT_TRUE(sum.ok());
+  EXPECT_DOUBLE_EQ(*sum, vs->ExpectedLinearSum(2.0));
+}
+
+TEST(VectorSumTest, ShippedSumEqualsPulledSum) {
+  auto pool = MakePool();
+  // Large enough to span multiple servers (64 MiB per server).
+  const std::uint64_t count = (MiB(80)) / sizeof(double);
+  auto vs = VectorSum::Create(pool.get(), count, 0);
+  ASSERT_TRUE(vs.ok());
+  ASSERT_TRUE(vs->FillLinear(0).ok());
+  auto pulled = vs->SumFrom(0);
+  auto shipped = vs->SumShipped();
+  ASSERT_TRUE(pulled.ok() && shipped.ok());
+  EXPECT_DOUBLE_EQ(*pulled, *shipped);
+  EXPECT_DOUBLE_EQ(*pulled, vs->ExpectedLinearSum());
+}
+
+TEST(VectorSumTest, TooLargeVectorIsOutOfMemory) {
+  auto pool = MakePool();  // 4 x 64 MiB total
+  auto vs = VectorSum::Create(pool.get(), GiB(1) / sizeof(double), 0);
+  EXPECT_FALSE(vs.ok());
+  EXPECT_TRUE(IsOutOfMemory(vs.status()));
+}
+
+TEST(VectorSumTest, ReleaseFreesCapacity) {
+  auto pool = MakePool();
+  const Bytes before = pool->cluster().PooledFreeBytes();
+  auto vs = VectorSum::Create(pool.get(), 1000, 0);
+  ASSERT_TRUE(vs.ok());
+  ASSERT_TRUE(vs->Release().ok());
+  EXPECT_EQ(pool->cluster().PooledFreeBytes(), before);
+}
+
+// --- PoolKvStore ------------------------------------------------------------------
+
+std::span<const std::byte> AsBytes(const char* s) {
+  return std::span<const std::byte>(
+      reinterpret_cast<const std::byte*>(s), std::strlen(s));
+}
+
+std::string ToString(const PoolKvStore::Value& v) {
+  const char* p = reinterpret_cast<const char*>(v.data());
+  return std::string(p, strnlen(p, v.size()));
+}
+
+TEST(KvStoreTest, PutGetRoundTrip) {
+  auto pool = MakePool();
+  auto kv = PoolKvStore::Create(pool.get(), 100, 0);
+  ASSERT_TRUE(kv.ok());
+  ASSERT_TRUE(kv->Put(0, 42, AsBytes("hello")).ok());
+  auto got = kv->Get(1, 42);
+  ASSERT_TRUE(got.ok());
+  EXPECT_EQ(ToString(*got), "hello");
+  EXPECT_EQ(kv->size(), 1u);
+}
+
+TEST(KvStoreTest, OverwriteReplacesValue) {
+  auto pool = MakePool();
+  auto kv = PoolKvStore::Create(pool.get(), 100, 0);
+  ASSERT_TRUE(kv.ok());
+  ASSERT_TRUE(kv->Put(0, 1, AsBytes("old")).ok());
+  ASSERT_TRUE(kv->Put(0, 1, AsBytes("new")).ok());
+  EXPECT_EQ(ToString(*kv->Get(0, 1)), "new");
+  EXPECT_EQ(kv->size(), 1u);
+}
+
+TEST(KvStoreTest, MissingKeyIsNotFound) {
+  auto pool = MakePool();
+  auto kv = PoolKvStore::Create(pool.get(), 100, 0);
+  ASSERT_TRUE(kv.ok());
+  EXPECT_TRUE(IsNotFound(kv->Get(0, 7).status()));
+}
+
+TEST(KvStoreTest, DeleteThenGetIsNotFound) {
+  auto pool = MakePool();
+  auto kv = PoolKvStore::Create(pool.get(), 100, 0);
+  ASSERT_TRUE(kv.ok());
+  ASSERT_TRUE(kv->Put(0, 5, AsBytes("x")).ok());
+  ASSERT_TRUE(kv->Delete(0, 5).ok());
+  EXPECT_TRUE(IsNotFound(kv->Get(0, 5).status()));
+  EXPECT_EQ(kv->size(), 0u);
+  EXPECT_TRUE(IsNotFound(kv->Delete(0, 5)));
+}
+
+TEST(KvStoreTest, TombstonesDoNotBreakProbeChains) {
+  auto pool = MakePool();
+  auto kv = PoolKvStore::Create(pool.get(), 4, 0);  // 8 buckets: collisions
+  ASSERT_TRUE(kv.ok());
+  // Insert several keys, delete one in the middle of a chain, then verify
+  // the rest remain reachable.
+  for (std::uint64_t k = 0; k < 4; ++k) {
+    ASSERT_TRUE(kv->Put(0, k, AsBytes("v")).ok());
+  }
+  ASSERT_TRUE(kv->Delete(0, 1).ok());
+  for (std::uint64_t k : {0u, 2u, 3u}) {
+    EXPECT_TRUE(kv->Get(0, k).ok()) << "key " << k;
+  }
+  // Reinserting reuses the tombstone.
+  ASSERT_TRUE(kv->Put(0, 1, AsBytes("back")).ok());
+  EXPECT_EQ(ToString(*kv->Get(0, 1)), "back");
+}
+
+TEST(KvStoreTest, ManyKeysSurviveChurn) {
+  auto pool = MakePool();
+  auto kv = PoolKvStore::Create(pool.get(), 512, 0);
+  ASSERT_TRUE(kv.ok());
+  for (std::uint64_t k = 0; k < 500; ++k) {
+    const std::string v = "value-" + std::to_string(k);
+    ASSERT_TRUE(kv->Put(k % 4, k, AsBytes(v.c_str())).ok());
+  }
+  for (std::uint64_t k = 0; k < 500; k += 3) {
+    ASSERT_TRUE(kv->Delete(0, k).ok());
+  }
+  for (std::uint64_t k = 0; k < 500; ++k) {
+    auto got = kv->Get(1, k);
+    if (k % 3 == 0) {
+      EXPECT_TRUE(IsNotFound(got.status()));
+    } else {
+      ASSERT_TRUE(got.ok());
+      EXPECT_EQ(ToString(*got), "value-" + std::to_string(k));
+    }
+  }
+}
+
+TEST(KvStoreTest, OversizeValueRejected) {
+  auto pool = MakePool();
+  auto kv = PoolKvStore::Create(pool.get(), 16, 0);
+  ASSERT_TRUE(kv.ok());
+  std::vector<std::byte> big(57);
+  EXPECT_FALSE(kv->Put(0, 1, big).ok());
+}
+
+TEST(KvStoreTest, AccessesVisibleToMigrationPolicy) {
+  auto pool = MakePool();
+  auto kv = PoolKvStore::Create(pool.get(), 64, 0);
+  ASSERT_TRUE(kv.ok());
+  ASSERT_TRUE(kv->Put(0, 1, AsBytes("hot")).ok());
+  for (int i = 0; i < 50; ++i) {
+    ASSERT_TRUE(kv->Get(3, 1, Seconds(1)).ok());
+  }
+  // Server 3 dominates the table's traffic now.
+  const auto seg =
+      pool->manager().Describe(kv->buffer())->segments[0];
+  core::AccessTracker::DominantAccessor dom;
+  ASSERT_TRUE(pool->manager().access_tracker().Dominant(seg, Seconds(1),
+                                                        &dom));
+  EXPECT_EQ(dom.server, 3u);
+}
+
+// --- PoolGraph ---------------------------------------------------------------------
+
+PoolGraph MakeDiamond(Pool* pool) {
+  //   0 -> 1 -> 3
+  //   0 -> 2 -> 3
+  auto g = PoolGraph::FromEdges(pool, 4,
+                                {{0, 1}, {0, 2}, {1, 3}, {2, 3}}, 0);
+  EXPECT_TRUE(g.ok());
+  return std::move(g).value();
+}
+
+TEST(GraphTest, BfsDepths) {
+  auto pool = MakePool();
+  PoolGraph g = MakeDiamond(pool.get());
+  auto depth = g.Bfs(0, 0);
+  ASSERT_TRUE(depth.ok());
+  EXPECT_EQ((*depth)[0], 0u);
+  EXPECT_EQ((*depth)[1], 1u);
+  EXPECT_EQ((*depth)[2], 1u);
+  EXPECT_EQ((*depth)[3], 2u);
+}
+
+TEST(GraphTest, BfsUnreachableIsMax) {
+  auto pool = MakePool();
+  auto g = PoolGraph::FromEdges(pool.get(), 3, {{0, 1}}, 0);
+  ASSERT_TRUE(g.ok());
+  auto depth = g->Bfs(0, 0);
+  ASSERT_TRUE(depth.ok());
+  EXPECT_EQ((*depth)[2], UINT32_MAX);
+}
+
+TEST(GraphTest, InvalidInputsRejected) {
+  auto pool = MakePool();
+  EXPECT_FALSE(PoolGraph::FromEdges(pool.get(), 0, {}, 0).ok());
+  EXPECT_FALSE(PoolGraph::FromEdges(pool.get(), 2, {{0, 5}}, 0).ok());
+  auto g = PoolGraph::FromEdges(pool.get(), 2, {{0, 1}}, 0);
+  ASSERT_TRUE(g.ok());
+  EXPECT_FALSE(g->Bfs(0, 7).ok());
+}
+
+TEST(GraphTest, PageRankSumsToOne) {
+  auto pool = MakePool();
+  PoolGraph g = MakeDiamond(pool.get());
+  auto rank = g.PageRank(0, 20, 0.85, /*shipped=*/false);
+  ASSERT_TRUE(rank.ok());
+  double total = 0;
+  for (double r : *rank) total += r;
+  // Dangling-vertex mass is redistributed, so rank is conserved exactly.
+  EXPECT_NEAR(total, 1.0, 1e-9);
+  // The double-funnel vertex 3 outranks the source.
+  EXPECT_GT((*rank)[3], (*rank)[0]);
+}
+
+TEST(GraphTest, ShippedPageRankMatchesPulled) {
+  auto pool = MakePool();
+  // A larger random-ish graph spanning multiple servers.
+  std::vector<std::pair<std::uint32_t, std::uint32_t>> edges;
+  const std::uint32_t n = 2000;
+  for (std::uint32_t u = 0; u < n; ++u) {
+    edges.push_back({u, (u * 7 + 1) % n});
+    edges.push_back({u, (u * 13 + 5) % n});
+  }
+  auto g = PoolGraph::FromEdges(pool.get(), n, edges, 0);
+  ASSERT_TRUE(g.ok());
+  auto pulled = g->PageRank(0, 5, 0.85, false);
+  auto shipped = g->PageRank(0, 5, 0.85, true);
+  ASSERT_TRUE(pulled.ok() && shipped.ok());
+  for (std::uint32_t v = 0; v < n; v += 97) {
+    EXPECT_NEAR((*pulled)[v], (*shipped)[v], 1e-12) << "vertex " << v;
+  }
+}
+
+TEST(GraphTest, ReleaseFreesBothBuffers) {
+  auto pool = MakePool();
+  const Bytes before = pool->cluster().PooledFreeBytes();
+  PoolGraph g = MakeDiamond(pool.get());
+  ASSERT_TRUE(g.Release().ok());
+  EXPECT_EQ(pool->cluster().PooledFreeBytes(), before);
+}
+
+}  // namespace
+}  // namespace lmp::workloads
