@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for near_memory_compute.
+# This may be replaced when dependencies are built.
