@@ -293,5 +293,6 @@ tests/CMakeFiles/fluid_test.dir/fluid_test.cc.o: \
  /root/miniconda/include/gtest/gtest_prod.h \
  /root/miniconda/include/gtest/gtest-typed-test.h \
  /root/miniconda/include/gtest/gtest_pred_impl.h \
+ /root/repo/src/common/metrics.h /root/repo/src/common/table.h \
  /root/repo/src/common/units.h /root/repo/src/sim/fluid.h \
  /root/repo/src/common/status.h /root/repo/src/sim/stream.h

@@ -81,8 +81,11 @@ void TaskScheduler::RunOn(cluster::ServerId server, int slot,
   }
   // Phase 1: stream the input from local DRAM on this slot's core.
   sim_->StartFlow(input_bytes, topology_->LocalPath(target, slot),
-                  [cont = std::move(continue_to_compute)](sim::FlowId,
-                                                          SimTime t) {
+                  [this, cont = std::move(continue_to_compute)](sim::FlowId f,
+                                                                SimTime t) {
+                    // Nothing reads these records; retire them so long
+                    // schedules run in bounded memory.
+                    (void)sim_->ReleaseRecord(f);
                     cont(t);
                   });
 }

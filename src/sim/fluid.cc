@@ -2,9 +2,11 @@
 
 #include <algorithm>
 #include <cassert>
+#include <chrono>
 #include <cmath>
 
 #include "common/logging.h"
+#include "common/metrics.h"
 
 namespace lmp::sim {
 namespace {
@@ -14,12 +16,18 @@ namespace {
 constexpr double kByteEpsilon = 1e-6;
 constexpr SimTime kTimeEpsilon = 1e-9;
 
+constexpr ResourceId kNoResource = std::numeric_limits<ResourceId>::max();
+
 }  // namespace
 
 ResourceId FluidSimulator::AddResource(std::string name,
                                        BytesPerSec capacity) {
   LMP_CHECK(capacity > 0) << "resource " << name << " needs capacity > 0";
   resources_.push_back(Resource{std::move(name), capacity, 0, 0, 0, now_});
+  flows_at_.emplace_back();
+  headroom_.push_back(0);
+  unfrozen_.push_back(0);
+  res_epoch_.push_back(0);
   return static_cast<ResourceId>(resources_.size() - 1);
 }
 
@@ -29,7 +37,9 @@ Status FluidSimulator::SetCapacity(ResourceId id, BytesPerSec capacity) {
   }
   if (capacity <= 0) return InvalidArgumentError("capacity must be > 0");
   resources_[id].capacity = capacity;
-  RecomputeRates();
+  seed_res_.clear();
+  seed_res_.push_back(id);
+  SolveSeeded();
   return Status::Ok();
 }
 
@@ -46,20 +56,30 @@ double FluidSimulator::Utilization(ResourceId id) const {
 
 double FluidSimulator::SmoothedUtilization(ResourceId id) const {
   assert(id < resources_.size());
-  const Resource& r = resources_[id];
-  // Fold in the time since the last update at the current rate.
-  Resource copy = r;
-  UpdateSmoothedUtil(copy, now_);
-  return copy.smoothed_util;
+  // Fold in the time since the last update at the current rate, without
+  // copying the resource (this is called per latency sample).
+  return FoldedSmoothedUtil(resources_[id], now_);
+}
+
+double FluidSimulator::FoldedSmoothedUtil(const Resource& r, SimTime t) const {
+  const SimTime dt = t - r.smoothed_at;
+  if (dt <= 0) return r.smoothed_util;
+  const double inst = r.capacity > 0 ? r.rate_sum / r.capacity : 0.0;
+  const double alpha = 1.0 - std::exp(-dt / kUtilTau);
+  return r.smoothed_util + alpha * (inst - r.smoothed_util);
 }
 
 void FluidSimulator::UpdateSmoothedUtil(Resource& r, SimTime t) const {
-  const SimTime dt = t - r.smoothed_at;
-  if (dt <= 0) return;
-  const double inst = r.capacity > 0 ? r.rate_sum / r.capacity : 0.0;
-  const double alpha = 1.0 - std::exp(-dt / kUtilTau);
-  r.smoothed_util += alpha * (inst - r.smoothed_util);
+  if (t - r.smoothed_at <= 0) return;
+  r.smoothed_util = FoldedSmoothedUtil(r, t);
   r.smoothed_at = t;
+}
+
+void FluidSimulator::FinishRecord(FlowId id) {
+  auto it = records_.find(id);
+  if (it == records_.end()) return;
+  it->second.done = true;
+  it->second.end = now_;
 }
 
 FlowId FluidSimulator::StartFlow(double bytes,
@@ -74,17 +94,54 @@ FlowId FluidSimulator::StartFlow(double bytes,
   }
 
   if (bytes <= kByteEpsilon || path.empty()) {
-    // Degenerate flow: completes instantly.
-    records_[id].done = true;
-    records_[id].end = now_;
+    // Degenerate flow: completes instantly.  The record is final here, but
+    // the callback is deferred through a zero-delay timer so it cannot
+    // re-enter the simulator (start flows, query records) mid-StartFlow.
+    FinishRecord(id);
     for (ResourceId r : path) resources_[r].bytes_served += bytes;
-    if (on_done) on_done(id, now_);
+    if (on_done) {
+      ScheduleAt(now_, [this, id, cb = std::move(on_done)](SimTime t) {
+        cb(id, t);
+        if (retention_ == RecordRetention::kDropCompleted) records_.erase(id);
+      });
+    } else if (retention_ == RecordRetention::kDropCompleted) {
+      records_.erase(id);
+    }
     return id;
   }
 
-  active_[id] = Flow{bytes, path, 0.0, weight, std::move(on_done)};
-  RecomputeRates();
+  Flow& flow =
+      active_
+          .emplace(id, Flow{bytes, path, 0.0, weight, std::move(on_done),
+                            /*visit_epoch=*/0})
+          .first->second;
+  IndexFlow(id, flow);
+  seed_res_.clear();
+  seed_res_.insert(seed_res_.end(), path.begin(), path.end());
+  SolveSeeded();
   return id;
+}
+
+void FluidSimulator::IndexFlow(FlowId id, Flow& flow) {
+  // Ids are issued monotonically, so push_back keeps each per-resource
+  // index sorted; one entry per path occurrence mirrors the solver's
+  // per-occurrence accounting.
+  for (ResourceId r : flow.path) {
+    flows_at_[r].push_back(FlowEntry{id, &flow});
+  }
+}
+
+void FluidSimulator::UnindexFlow(FlowId id,
+                                 const std::vector<ResourceId>& path) {
+  for (ResourceId r : path) {
+    auto& entries = flows_at_[r];
+    const auto cmp = [](const FlowEntry& e, const FlowEntry& v) {
+      return e.id < v.id;
+    };
+    auto [lo, hi] = std::equal_range(entries.begin(), entries.end(),
+                                     FlowEntry{id, nullptr}, cmp);
+    entries.erase(lo, hi);
+  }
 }
 
 void FluidSimulator::ScheduleAt(SimTime when, TimerCallback cb) {
@@ -99,56 +156,28 @@ void FluidSimulator::ScheduleAfter(SimTime delay, TimerCallback cb) {
   ScheduleAt(now_ + delay, std::move(cb));
 }
 
-void FluidSimulator::RecomputeRates() {
+void FluidSimulator::SolveWork() {
   // Progressive filling: repeatedly find the resource whose equal share for
   // still-unfrozen flows is smallest, freeze those flows at that share.
-  for (auto& r : resources_) {
-    UpdateSmoothedUtil(r, now_);
-    r.rate_sum = 0;
-  }
-  if (active_.empty()) return;
-
-  struct Work {
-    FlowId id;
-    Flow* flow;
-    bool frozen = false;
-  };
-  std::vector<Work> work;
-  work.reserve(active_.size());
-  for (auto& [id, f] : active_) {
-    f.rate = 0;
-    work.push_back(Work{id, &f, false});
-  }
-
-  // Remaining capacity and unfrozen WEIGHT per resource (weighted max-min:
-  // the fair share is per unit of weight).
-  std::vector<double> headroom(resources_.size());
-  std::vector<double> unfrozen(resources_.size(), 0);
-  for (std::size_t i = 0; i < resources_.size(); ++i) {
-    headroom[i] = resources_[i].capacity;
-  }
-  for (auto& w : work) {
-    for (ResourceId r : w.flow->path) unfrozen[r] += w.flow->weight;
-  }
-
+  // comp_res_ is sorted ascending so bottleneck ties break exactly as a
+  // full scan over all resources would.
   std::size_t frozen_count = 0;
-  while (frozen_count < work.size()) {
-    // Find the bottleneck resource (smallest per-weight share).
+  while (frozen_count < work_.size()) {
     double best_share = std::numeric_limits<double>::infinity();
-    std::size_t best_res = resources_.size();
-    for (std::size_t r = 0; r < resources_.size(); ++r) {
-      if (unfrozen[r] <= 0) continue;
-      const double share = headroom[r] / unfrozen[r];
+    ResourceId best_res = kNoResource;
+    for (ResourceId r : comp_res_) {
+      if (unfrozen_[r] <= 0) continue;
+      const double share = headroom_[r] / unfrozen_[r];
       if (share < best_share) {
         best_share = share;
         best_res = r;
       }
     }
-    if (best_res == resources_.size()) {
+    if (best_res == kNoResource) {
       // Some flows traverse no constrained resource (cannot happen: flows
       // with empty paths complete instantly), but guard anyway by giving
       // them effectively unbounded rate.
-      for (auto& w : work) {
+      for (auto& w : work_) {
         if (!w.frozen) {
           w.flow->rate = std::numeric_limits<double>::max();
           w.frozen = true;
@@ -159,7 +188,7 @@ void FluidSimulator::RecomputeRates() {
     }
 
     // Freeze every unfrozen flow crossing the bottleneck at the fair share.
-    for (auto& w : work) {
+    for (auto& w : work_) {
       if (w.frozen) continue;
       bool crosses = false;
       for (ResourceId r : w.flow->path) {
@@ -173,25 +202,237 @@ void FluidSimulator::RecomputeRates() {
       w.frozen = true;
       ++frozen_count;
       for (ResourceId r : w.flow->path) {
-        unfrozen[r] -= w.flow->weight;
-        headroom[r] -= w.flow->rate;
-        if (headroom[r] < 0) headroom[r] = 0;  // round-off guard
+        unfrozen_[r] -= w.flow->weight;
+        headroom_[r] -= w.flow->rate;
+        if (headroom_[r] < 0) headroom_[r] = 0;  // round-off guard
       }
     }
   }
+}
 
+void FluidSimulator::RecomputeAll() {
+  ++stats_.recompute_calls;
+  ++stats_.full_solves;
+  stats_.flows_touched += active_.size();
+  for (auto& r : resources_) {
+    UpdateSmoothedUtil(r, now_);
+    r.rate_sum = 0;
+  }
+  if (active_.empty()) return;
+
+  work_.clear();
   for (auto& [id, f] : active_) {
-    for (ResourceId r : f.path) resources_[r].rate_sum += f.rate;
+    f.rate = 0;
+    work_.push_back(Work{id, &f, false});
+  }
+
+  // Remaining capacity and unfrozen WEIGHT per resource (weighted max-min:
+  // the fair share is per unit of weight).
+  comp_res_.clear();
+  for (ResourceId r = 0; r < resources_.size(); ++r) {
+    comp_res_.push_back(r);
+    headroom_[r] = resources_[r].capacity;
+    unfrozen_[r] = 0;
+  }
+  for (auto& w : work_) {
+    for (ResourceId r : w.flow->path) unfrozen_[r] += w.flow->weight;
+  }
+
+  SolveWork();
+
+  for (auto& w : work_) {
+    for (ResourceId r : w.flow->path) resources_[r].rate_sum += w.flow->rate;
   }
 }
 
-SimTime FluidSimulator::NextCompletionTime() const {
-  // Durations (not absolute times) so precision is independent of now_.
+void FluidSimulator::SolveSeeded() {
+  if (!solver_timing_) {
+    SolveSeededImpl();
+    return;
+  }
+  const auto t0 = std::chrono::steady_clock::now();
+  SolveSeededImpl();
+  const auto t1 = std::chrono::steady_clock::now();
+  stats_.solve_ns += static_cast<std::uint64_t>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(t1 - t0).count());
+}
+
+void FluidSimulator::SolveSeededImpl() {
+  if (!incremental_) {
+    RecomputeAll();
+    return;
+  }
+  // Adaptive fallback: when the connected component keeps spanning every
+  // active flow (heavily bridged topologies — incast, all-remote), the
+  // component BFS is pure overhead on top of an unavoidable full solve.
+  // After a streak of whole-graph components, solve fully for a cooldown
+  // window, then probe incrementally again in case locality returned.
+  if (full_solve_cooldown_ > 0) {
+    --full_solve_cooldown_;
+    RecomputeAll();
+    return;
+  }
+  ++stats_.recompute_calls;
+
+  // Connected component of the seed resources: alternate resource -> its
+  // crossing flows -> their paths until closed.  Epoch stamps make the
+  // visited sets allocation-free.
+  ++solve_epoch_;
+  comp_res_.clear();
+  work_.clear();
+  const auto add_res = [this](ResourceId r) {
+    if (res_epoch_[r] != solve_epoch_) {
+      res_epoch_[r] = solve_epoch_;
+      comp_res_.push_back(r);
+    }
+  };
+  for (ResourceId r : seed_res_) add_res(r);
+  const std::size_t num_active = active_.size();
+  for (std::size_t i = 0; i < comp_res_.size() && work_.size() < num_active;
+       ++i) {
+    for (const FlowEntry& e : flows_at_[comp_res_[i]]) {
+      if (e.flow->visit_epoch == solve_epoch_) continue;
+      e.flow->visit_epoch = solve_epoch_;
+      work_.push_back(Work{e.id, e.flow, false});
+      for (ResourceId r : e.flow->path) add_res(r);
+    }
+  }
+  // Restore the deterministic orders the full pass iterates in: resources
+  // by index (bottleneck tie-break), flows by id (freeze and rate_sum
+  // accumulation order).  Required for bit-exact parity with RecomputeAll.
+  std::sort(comp_res_.begin(), comp_res_.end());
+  if (work_.size() == active_.size()) {
+    // The component spans every active flow (heavily bridged topologies);
+    // the map is already in id order, so rebuild instead of sorting.
+    work_.clear();
+    for (auto& [id, f] : active_) work_.push_back(Work{id, &f, false});
+  } else {
+    std::sort(work_.begin(), work_.end(),
+              [](const Work& a, const Work& b) { return a.id < b.id; });
+  }
+
+  stats_.flows_touched += work_.size();
+  if (work_.size() == active_.size()) {
+    ++stats_.full_solves;
+    if (full_solve_streak_ < kFullStreakThreshold) ++full_solve_streak_;
+    if (full_solve_streak_ >= kFullStreakThreshold) {
+      full_solve_cooldown_ = kFullSolveCooldown;
+    }
+  } else {
+    full_solve_streak_ = 0;
+  }
+
+  for (ResourceId r : comp_res_) {
+    UpdateSmoothedUtil(resources_[r], now_);
+    headroom_[r] = resources_[r].capacity;
+    unfrozen_[r] = 0;
+    resources_[r].rate_sum = 0;
+  }
+  for (auto& w : work_) {
+    w.flow->rate = 0;
+    for (ResourceId r : w.flow->path) unfrozen_[r] += w.flow->weight;
+  }
+
+  SolveWork();
+
+  for (auto& w : work_) {
+    for (ResourceId r : w.flow->path) resources_[r].rate_sum += w.flow->rate;
+  }
+
+  if (crosscheck_) CheckAgainstFullSolve();
+}
+
+void FluidSimulator::CheckAgainstFullSolve() const {
+  // Reference full progressive-filling pass over private scratch (the
+  // simulator state is untouched), compared bit-exactly against the rates
+  // the incremental solve left behind.  Debug/test-only: allocates.
+  struct Ref {
+    const Flow* flow;
+    double rate = 0;
+    bool frozen = false;
+  };
+  std::vector<Ref> ref;
+  ref.reserve(active_.size());
+  for (const auto& [id, f] : active_) ref.push_back(Ref{&f});
+  std::vector<double> headroom(resources_.size());
+  std::vector<double> unfrozen(resources_.size(), 0);
+  for (std::size_t r = 0; r < resources_.size(); ++r) {
+    headroom[r] = resources_[r].capacity;
+  }
+  for (const Ref& w : ref) {
+    for (ResourceId r : w.flow->path) unfrozen[r] += w.flow->weight;
+  }
+  std::size_t frozen_count = 0;
+  while (frozen_count < ref.size()) {
+    double best_share = std::numeric_limits<double>::infinity();
+    std::size_t best_res = resources_.size();
+    for (std::size_t r = 0; r < resources_.size(); ++r) {
+      if (unfrozen[r] <= 0) continue;
+      const double share = headroom[r] / unfrozen[r];
+      if (share < best_share) {
+        best_share = share;
+        best_res = r;
+      }
+    }
+    if (best_res == resources_.size()) {
+      for (auto& w : ref) {
+        if (!w.frozen) {
+          w.rate = std::numeric_limits<double>::max();
+          w.frozen = true;
+          ++frozen_count;
+        }
+      }
+      break;
+    }
+    for (auto& w : ref) {
+      if (w.frozen) continue;
+      bool crosses = false;
+      for (ResourceId r : w.flow->path) {
+        if (r == best_res) {
+          crosses = true;
+          break;
+        }
+      }
+      if (!crosses) continue;
+      w.rate = best_share * w.flow->weight;
+      w.frozen = true;
+      ++frozen_count;
+      for (ResourceId r : w.flow->path) {
+        unfrozen[r] -= w.flow->weight;
+        headroom[r] -= w.rate;
+        if (headroom[r] < 0) headroom[r] = 0;
+      }
+    }
+  }
+  for (const Ref& w : ref) {
+    LMP_CHECK(w.rate == w.flow->rate)
+        << "incremental solver diverged from full solve: rate "
+        << w.flow->rate << " vs reference " << w.rate;
+  }
+  std::vector<double> rate_sum(resources_.size(), 0);
+  for (const Ref& w : ref) {
+    for (ResourceId r : w.flow->path) rate_sum[r] += w.rate;
+  }
+  for (std::size_t r = 0; r < resources_.size(); ++r) {
+    LMP_CHECK(rate_sum[r] == resources_[r].rate_sum)
+        << "incremental solver diverged on rate_sum of resource " << r << ": "
+        << resources_[r].rate_sum << " vs reference " << rate_sum[r];
+  }
+}
+
+SimTime FluidSimulator::MinRemainingDuration() const {
+  // Durations (not absolute times) so precision is independent of now_ —
+  // the Zeno guard Step() relies on lives here and only here.
   SimTime best = std::numeric_limits<SimTime>::infinity();
   for (const auto& [id, f] : active_) {
     if (f.rate <= 0) continue;
     best = std::min(best, f.remaining / f.rate * kNsPerSec);
   }
+  return best;
+}
+
+SimTime FluidSimulator::NextCompletionTime() const {
+  const SimTime best = MinRemainingDuration();
   return std::isfinite(best)
              ? now_ + best
              : std::numeric_limits<SimTime>::infinity();
@@ -218,11 +459,7 @@ bool FluidSimulator::Step() {
   // force-completing the event-defining flows guarantees progress even when
   // now_ is large enough that absolute-time rounding would otherwise strand
   // sub-epsilon residues (a Zeno deadlock).
-  SimTime min_dt = std::numeric_limits<SimTime>::infinity();
-  for (const auto& [id, f] : active_) {
-    if (f.rate <= 0) continue;
-    min_dt = std::min(min_dt, f.remaining / f.rate * kNsPerSec);
-  }
+  const SimTime min_dt = MinRemainingDuration();
   const SimTime completion =
       std::isfinite(min_dt) ? now_ + min_dt
                             : std::numeric_limits<SimTime>::infinity();
@@ -237,8 +474,9 @@ bool FluidSimulator::Step() {
                   [](const Timer& a, const Timer& b) { return b < a; });
     Timer t = std::move(timers_.back());
     timers_.pop_back();
+    // Anything the callback changes (StartFlow, SetCapacity) re-solves its
+    // own component; no blanket recompute is needed afterwards.
     t.cb(now_);
-    if (!active_.empty()) RecomputeRates();
     return true;
   }
 
@@ -255,23 +493,26 @@ bool FluidSimulator::Step() {
 
   // Collect every flow that finished at this instant.
   std::vector<std::pair<FlowId, FlowCallback>> done;
+  seed_res_.clear();
   for (auto it = active_.begin(); it != active_.end();) {
     if (it->second.remaining <= kByteEpsilon ||
         (it->second.rate > 0 &&
          it->second.remaining / it->second.rate * kNsPerSec < kTimeEpsilon)) {
-      auto& rec = records_[it->first];
-      rec.done = true;
-      rec.end = now_;
+      FinishRecord(it->first);
       done.emplace_back(it->first, std::move(it->second.on_done));
+      seed_res_.insert(seed_res_.end(), it->second.path.begin(),
+                       it->second.path.end());
+      UnindexFlow(it->first, it->second.path);
       it = active_.erase(it);
     } else {
       ++it;
     }
   }
-  RecomputeRates();
+  SolveSeeded();
   // Callbacks run after rates are consistent; they may start new flows.
   for (auto& [id, cb] : done) {
     if (cb) cb(id, now_);
+    if (retention_ == RecordRetention::kDropCompleted) records_.erase(id);
   }
   return true;
 }
@@ -282,19 +523,33 @@ void FluidSimulator::Run() {
 }
 
 Status FluidSimulator::RunUntilFlowDone(FlowId id) {
-  auto it = records_.find(id);
-  if (it == records_.end()) return NotFoundError("unknown flow");
-  while (!records_[id].done) {
+  if (id == kInvalidFlow || id >= next_flow_id_) {
+    return NotFoundError("unknown flow");
+  }
+  // One lookup per iteration (records can be released mid-run); a missing
+  // record for a known id means it was already retired, i.e. completed.
+  while (true) {
+    const auto it = records_.find(id);
+    if (it == records_.end() || it->second.done) return Status::Ok();
     if (!Step()) {
       return InternalError("simulation drained before flow completed");
     }
   }
-  return Status::Ok();
 }
 
 const FlowRecord* FluidSimulator::record(FlowId id) const {
   auto it = records_.find(id);
   return it == records_.end() ? nullptr : &it->second;
+}
+
+Status FluidSimulator::ReleaseRecord(FlowId id) {
+  auto it = records_.find(id);
+  if (it == records_.end()) return NotFoundError("no record for flow");
+  if (!it->second.done) {
+    return FailedPreconditionError("flow is still active");
+  }
+  records_.erase(it);
+  return Status::Ok();
 }
 
 double FluidSimulator::FlowRate(FlowId id) const {
@@ -305,6 +560,18 @@ double FluidSimulator::FlowRate(FlowId id) const {
 double FluidSimulator::BytesServed(ResourceId id) const {
   assert(id < resources_.size());
   return resources_[id].bytes_served;
+}
+
+void FluidSimulator::ExportSolverMetrics(MetricsRegistry& registry) {
+  registry.Increment("fluid.solver.recompute_calls",
+                     stats_.recompute_calls - exported_.recompute_calls);
+  registry.Increment("fluid.solver.flows_touched",
+                     stats_.flows_touched - exported_.flows_touched);
+  registry.Increment("fluid.solver.full_solves",
+                     stats_.full_solves - exported_.full_solves);
+  registry.Increment("fluid.solver.solve_ns",
+                     stats_.solve_ns - exported_.solve_ns);
+  exported_ = stats_;
 }
 
 }  // namespace lmp::sim

@@ -9,6 +9,15 @@
 // paper measures (14 cores saturating local DRAM at 97 GB/s, or a remote
 // link at 34.5/21 GB/s) while staying deterministic and fast.
 //
+// Rate recomputation is incremental: each resource keeps an index of the
+// flows crossing it, and an arrival/completion/capacity change re-solves
+// only the connected component of flows that share a resource (directly or
+// transitively) with the change.  Components never interact — a freeze in
+// one component touches no accumulator of another — so the component solve
+// is bit-exact with a full progressive-filling pass (enforceable with
+// set_solver_crosscheck).  Scratch buffers persist across solves, so the
+// steady path allocates nothing.
+//
 // The simulator is single-threaded and owned by one experiment; it is not
 // thread-safe by design (CP.1 does not apply: no concurrency is shared).
 #pragma once
@@ -23,6 +32,10 @@
 #include "common/status.h"
 #include "common/units.h"
 
+namespace lmp {
+class MetricsRegistry;
+}
+
 namespace lmp::sim {
 
 using ResourceId = std::uint32_t;
@@ -35,6 +48,23 @@ struct FlowRecord {
   SimTime end = 0;       // valid once done
   double bytes = 0;
   bool done = false;
+};
+
+// Solver introspection: how much work rate recomputation is doing.
+struct SolverStats {
+  std::uint64_t recompute_calls = 0;  // solver invocations (any scope)
+  std::uint64_t flows_touched = 0;    // flows re-rated, summed over calls
+  std::uint64_t full_solves = 0;      // calls that re-rated every active flow
+  std::uint64_t solve_ns = 0;         // wall ns in the solver (needs
+                                      // set_solver_timing(true); else 0)
+};
+
+// What happens to a FlowRecord once its flow completes.  Long-running
+// experiments that never query history should drop completed records so
+// memory stays bounded by the number of *active* flows.
+enum class RecordRetention {
+  kKeepAll,        // records live until ReleaseRecord() (default)
+  kDropCompleted,  // records are erased right after the completion callback
 };
 
 class FluidSimulator {
@@ -66,7 +96,9 @@ class FluidSimulator {
   // Flows ------------------------------------------------------------------
 
   // Starts a flow of `bytes` through `path` at the current time.  An empty
-  // path or zero bytes completes immediately (callback still fires).
+  // path or zero bytes completes immediately (the record is final when
+  // StartFlow returns) but its callback is deferred through a zero-delay
+  // timer, so callbacks never re-enter the simulator from inside StartFlow.
   // `weight` sets the flow's share under contention (weighted max-min:
   // a weight-2 flow gets twice a weight-1 flow's allocation at a shared
   // bottleneck) — the mechanism behind priority-aware experiments.
@@ -83,7 +115,8 @@ class FluidSimulator {
   SimTime now() const { return now_; }
 
   // Advances until the next event (flow completion or timer) and processes
-  // it.  Returns false when nothing remains.
+  // it.  Returns false when nothing remains.  A timer scheduled exactly at a
+  // flow's completion instant fires first; the completion sweeps next step.
   bool Step();
 
   // Runs until no active flows or pending timers remain.
@@ -100,6 +133,38 @@ class FluidSimulator {
 
   // Total bytes that have fully traversed each resource so far.
   double BytesServed(ResourceId id) const;
+
+  // Records -----------------------------------------------------------------
+
+  // Drops the record of a completed flow (bounds memory in long runs where
+  // the caller tracks its own history).  Fails on active or unknown flows.
+  Status ReleaseRecord(FlowId id);
+
+  void set_record_retention(RecordRetention policy) { retention_ = policy; }
+  std::size_t record_count() const { return records_.size(); }
+
+  // Solver ------------------------------------------------------------------
+
+  // Incremental (component-scoped) rate recomputation is the default; turn
+  // it off to force a full progressive-filling pass per event (baseline for
+  // bench_solver; results are bit-identical either way).
+  void set_incremental(bool on) { incremental_ = on; }
+  bool incremental() const { return incremental_; }
+
+  // Debug cross-check: after every incremental solve, run a full reference
+  // solve and LMP_CHECK the rate vectors match bit-exactly.  Expensive —
+  // tests only.
+  void set_solver_crosscheck(bool on) { crosscheck_ = on; }
+
+  // Accumulate wall-clock spent inside the solver into solver_stats().
+  // Off by default (two clock reads per event); bench_solver turns it on.
+  void set_solver_timing(bool on) { solver_timing_ = on; }
+
+  const SolverStats& solver_stats() const { return stats_; }
+
+  // Adds the stats accumulated since the previous export to `registry` as
+  // counters fluid.solver.{recompute_calls,flows_touched,full_solves}.
+  void ExportSolverMetrics(MetricsRegistry& registry);
 
  private:
   struct Resource {
@@ -118,6 +183,21 @@ class FluidSimulator {
     double rate = 0;
     double weight = 1.0;
     FlowCallback on_done;
+    std::uint64_t visit_epoch = 0;  // component-BFS visited stamp
+  };
+
+  // Per-resource index entry: flows are stored in ascending-id order (ids
+  // are issued monotonically) with one entry per path occurrence.  Flow
+  // pointers stay valid because active_ is a node-based map.
+  struct FlowEntry {
+    FlowId id;
+    Flow* flow;
+  };
+
+  struct Work {
+    FlowId id;
+    Flow* flow;
+    bool frozen = false;
   };
 
   struct Timer {
@@ -131,10 +211,34 @@ class FluidSimulator {
 
   static constexpr SimTime kUtilTau = Microseconds(10);
 
-  void RecomputeRates();
+  // After this many consecutive whole-graph components, skip the component
+  // BFS and solve fully for kFullSolveCooldown events before re-probing.
+  static constexpr std::uint32_t kFullStreakThreshold = 4;
+  static constexpr std::uint32_t kFullSolveCooldown = 32;
+
+  // Rate solver.  SolveSeeded() re-rates the connected component(s) of the
+  // resources in seed_res_ (or everything when incremental mode is off);
+  // RecomputeAll() is the classic full pass; SolveWork() is the progressive
+  // filling core both share, operating on work_ / comp_res_ / headroom_ /
+  // unfrozen_.
+  void SolveSeeded();
+  void SolveSeededImpl();
+  void RecomputeAll();
+  void SolveWork();
+  void CheckAgainstFullSolve() const;
+
+  void IndexFlow(FlowId id, Flow& flow);
+  void UnindexFlow(FlowId id, const std::vector<ResourceId>& path);
+
   void AdvanceTo(SimTime t);
+  // Folded EWMA at time t without mutating the resource (no copies).
+  double FoldedSmoothedUtil(const Resource& r, SimTime t) const;
   void UpdateSmoothedUtil(Resource& r, SimTime t) const;
+  // Shortest remaining duration among active flows (the Zeno guard works in
+  // durations, not absolute times); the single source of truth for Step().
+  SimTime MinRemainingDuration() const;
   SimTime NextCompletionTime() const;
+  void FinishRecord(FlowId id);
 
   std::vector<Resource> resources_;
   std::map<FlowId, Flow> active_;
@@ -143,6 +247,26 @@ class FluidSimulator {
   std::uint64_t next_flow_id_ = 1;
   std::uint64_t next_timer_seq_ = 0;
   SimTime now_ = 0;
+
+  // Incremental-solver state: per-resource crossing-flow index plus
+  // persistent scratch reused by every solve (no steady-state allocation).
+  std::vector<std::vector<FlowEntry>> flows_at_;
+  std::vector<double> headroom_;
+  std::vector<double> unfrozen_;
+  std::vector<std::uint64_t> res_epoch_;
+  std::vector<ResourceId> seed_res_;
+  std::vector<ResourceId> comp_res_;
+  std::vector<Work> work_;
+  std::uint64_t solve_epoch_ = 0;
+  std::uint32_t full_solve_streak_ = 0;
+  std::uint32_t full_solve_cooldown_ = 0;
+
+  bool incremental_ = true;
+  bool crosscheck_ = false;
+  bool solver_timing_ = false;
+  RecordRetention retention_ = RecordRetention::kKeepAll;
+  SolverStats stats_;
+  SolverStats exported_;  // high-water mark of the last ExportSolverMetrics
 };
 
 }  // namespace lmp::sim

@@ -25,16 +25,29 @@ void SpanStream::StartNext() {
   }
   const Span& s = spans_[next_++];
   sim_->StartFlow(s.bytes, s.path,
-                  [this](FlowId, SimTime) { StartNext(); }, s.weight);
+                  [this](FlowId f, SimTime) {
+                    // The stream keeps its own aggregates; retire the
+                    // record so memory tracks in-flight, not total, spans.
+                    (void)sim_->ReleaseRecord(f);
+                    StartNext();
+                  },
+                  s.weight);
 }
 
 ParallelRunResult RunStreams(
     FluidSimulator* sim, std::vector<std::unique_ptr<SpanStream>> streams) {
   ParallelRunResult result;
+  const SolverStats before = sim->solver_stats();
   result.start = sim->now();
   for (auto& s : streams) s->Start();
   sim->Run();
   result.end = sim->now();
+  const SolverStats& after = sim->solver_stats();
+  result.solver.recompute_calls =
+      after.recompute_calls - before.recompute_calls;
+  result.solver.flows_touched = after.flows_touched - before.flows_touched;
+  result.solver.full_solves = after.full_solves - before.full_solves;
+  result.solver.solve_ns = after.solve_ns - before.solve_ns;
   for (auto& s : streams) {
     LMP_CHECK(s->done()) << "stream did not finish";
     result.bytes += s->total_bytes();

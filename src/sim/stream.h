@@ -28,7 +28,9 @@ struct Span {
 class SpanStream {
  public:
   // The stream registers its own continuation callbacks with `sim`; the
-  // object must outlive the simulation run.
+  // object must outlive the simulation run.  Completed span records are
+  // released back to the simulator (the stream tracks its own start/end
+  // times), so long runs stay bounded by the number of in-flight spans.
   SpanStream(FluidSimulator* sim, std::vector<Span> spans);
 
   SpanStream(const SpanStream&) = delete;
@@ -60,6 +62,8 @@ struct ParallelRunResult {
   SimTime end = 0;
   double bytes = 0;
   double gbps = 0;
+  // Solver work done during this run (delta of the simulator's counters).
+  SolverStats solver;
 };
 
 // Starts every stream at the current simulated time, runs the simulator to

@@ -3,6 +3,7 @@
 // (Zeno deadlock) that once hung the Figure benches.
 #include <gtest/gtest.h>
 
+#include "common/metrics.h"
 #include "common/units.h"
 #include "sim/fluid.h"
 #include "sim/stream.h"
@@ -91,18 +92,159 @@ TEST(FluidTest, ZeroByteFlowCompletesImmediately) {
   FluidSimulator sim;
   const ResourceId r = sim.AddResource("link", GBps(1));
   bool fired = false;
-  const FlowId f = sim.StartFlow(0, {r}, [&](FlowId, SimTime) {
+  SimTime fired_at = -1;
+  const FlowId f = sim.StartFlow(0, {r}, [&](FlowId, SimTime t) {
     fired = true;
+    fired_at = t;
   });
-  EXPECT_TRUE(fired);
+  // The record is final immediately; the callback is deferred through a
+  // zero-delay timer so it cannot re-enter StartFlow.
   EXPECT_TRUE(sim.record(f)->done);
   EXPECT_EQ(sim.active_flow_count(), 0u);
+  EXPECT_FALSE(fired);
+  sim.Run();
+  EXPECT_TRUE(fired);
+  EXPECT_DOUBLE_EQ(fired_at, 0);  // zero simulated delay
 }
 
 TEST(FluidTest, EmptyPathCompletesImmediately) {
   FluidSimulator sim;
   const FlowId f = sim.StartFlow(100, {});
   EXPECT_TRUE(sim.record(f)->done);
+}
+
+// Regression: the degenerate-flow callback used to fire synchronously
+// inside StartFlow, so a callback that itself started flows re-entered the
+// simulator mid-update (and deep chains recursed without bound).
+TEST(FluidTest, DegenerateFlowCallbackDoesNotReenterStartFlow) {
+  FluidSimulator sim;
+  const ResourceId r = sim.AddResource("link", GBps(1));
+  bool start_flow_returned = false;
+  bool fired = false;
+  sim.StartFlow(0, {r}, [&](FlowId, SimTime) {
+    EXPECT_TRUE(start_flow_returned);
+    fired = true;
+  });
+  start_flow_returned = true;
+  sim.Run();
+  EXPECT_TRUE(fired);
+}
+
+TEST(FluidTest, DegenerateFlowChainDoesNotRecurse) {
+  // 50k zero-byte flows, each started from the previous one's callback.
+  // Under the old synchronous dispatch this recursed 50k frames deep.
+  FluidSimulator sim;
+  sim.set_record_retention(RecordRetention::kDropCompleted);
+  int remaining = 50000;
+  std::function<void(FlowId, SimTime)> chain = [&](FlowId, SimTime) {
+    if (--remaining > 0) sim.StartFlow(0, {}, chain);
+  };
+  sim.StartFlow(0, {}, chain);
+  sim.Run();
+  EXPECT_EQ(remaining, 0);
+  EXPECT_EQ(sim.record_count(), 0u);
+}
+
+// A timer scheduled exactly at a flow's completion instant fires first; the
+// completion (remaining == 0) sweeps on the next step, at the same
+// timestamp.  Pins the intended event ordering.
+TEST(FluidTest, TimerAtCompletionInstantFiresBeforeCompletion) {
+  FluidSimulator sim;
+  const ResourceId r = sim.AddResource("link", GBps(1));
+  const FlowId f = sim.StartFlow(1e9, {r});  // completes at exactly 1 s
+  bool timer_fired = false;
+  bool flow_done_at_timer = true;
+  sim.ScheduleAt(Seconds(1), [&](SimTime) {
+    timer_fired = true;
+    flow_done_at_timer = sim.record(f)->done;
+  });
+  ASSERT_TRUE(sim.Step());  // the timer wins the tie
+  EXPECT_TRUE(timer_fired);
+  EXPECT_FALSE(flow_done_at_timer);
+  EXPECT_FALSE(sim.record(f)->done);
+  EXPECT_EQ(sim.active_flow_count(), 1u);
+  ASSERT_TRUE(sim.Step());  // the completion sweep, zero time later
+  EXPECT_TRUE(sim.record(f)->done);
+  EXPECT_DOUBLE_EQ(sim.record(f)->end, Seconds(1));
+  EXPECT_EQ(sim.active_flow_count(), 0u);
+}
+
+// --- Records ----------------------------------------------------------------
+
+TEST(FluidTest, ReleaseRecordBoundsMemory) {
+  FluidSimulator sim;
+  const ResourceId r = sim.AddResource("link", GBps(10));
+  const FlowId f = sim.StartFlow(1e9, {r});
+  EXPECT_FALSE(sim.ReleaseRecord(f).ok());  // still active
+  sim.Run();
+  EXPECT_EQ(sim.record_count(), 1u);
+  ASSERT_TRUE(sim.ReleaseRecord(f).ok());
+  EXPECT_EQ(sim.record_count(), 0u);
+  EXPECT_EQ(sim.record(f), nullptr);
+  EXPECT_FALSE(sim.ReleaseRecord(f).ok());     // already gone
+  EXPECT_FALSE(sim.ReleaseRecord(9999).ok());  // never existed
+}
+
+TEST(FluidTest, DropCompletedRetentionKeepsNoHistory) {
+  FluidSimulator sim;
+  sim.set_record_retention(RecordRetention::kDropCompleted);
+  const ResourceId r = sim.AddResource("link", GBps(10));
+  int completions = 0;
+  for (int i = 0; i < 100; ++i) {
+    sim.StartFlow(1e8, {r}, [&](FlowId, SimTime) { ++completions; });
+  }
+  sim.Run();
+  EXPECT_EQ(completions, 100);
+  EXPECT_EQ(sim.record_count(), 0u);
+}
+
+TEST(FluidTest, RunUntilFlowDoneWorksWithReleasedRecords) {
+  FluidSimulator sim;
+  sim.set_record_retention(RecordRetention::kDropCompleted);
+  const ResourceId r = sim.AddResource("link", GBps(1));
+  const FlowId fast = sim.StartFlow(0.5e9, {r});
+  const FlowId slow = sim.StartFlow(10e9, {r});
+  ASSERT_TRUE(sim.RunUntilFlowDone(fast).ok());
+  EXPECT_EQ(sim.record(fast), nullptr);  // retired ⇒ done
+  EXPECT_FALSE(sim.record(slow)->done);
+  ASSERT_TRUE(sim.RunUntilFlowDone(slow).ok());
+}
+
+// --- Solver introspection ---------------------------------------------------
+
+TEST(FluidTest, SolverTouchesOnlyTheAffectedComponent) {
+  FluidSimulator sim;
+  const ResourceId a = sim.AddResource("a", GBps(10));
+  const ResourceId b = sim.AddResource("b", GBps(10));
+  sim.StartFlow(1e12, {a});
+  const SolverStats after_first = sim.solver_stats();
+  EXPECT_EQ(after_first.recompute_calls, 1u);
+  EXPECT_EQ(after_first.flows_touched, 1u);
+  // A flow on a disjoint resource re-rates only itself.
+  sim.StartFlow(1e12, {b});
+  const SolverStats after_second = sim.solver_stats();
+  EXPECT_EQ(after_second.recompute_calls, 2u);
+  EXPECT_EQ(after_second.flows_touched - after_first.flows_touched, 1u);
+  // A flow bridging both components re-rates all three.
+  sim.StartFlow(1e12, {a, b});
+  const SolverStats after_third = sim.solver_stats();
+  EXPECT_EQ(after_third.flows_touched - after_second.flows_touched, 3u);
+  EXPECT_GE(after_third.full_solves, 1u);
+}
+
+TEST(FluidTest, ExportSolverMetricsReportsDeltas) {
+  FluidSimulator sim;
+  const ResourceId r = sim.AddResource("link", GBps(10));
+  sim.StartFlow(1e9, {r});
+  sim.Run();
+  MetricsRegistry registry;
+  sim.ExportSolverMetrics(registry);
+  const std::uint64_t calls = registry.Counter("fluid.solver.recompute_calls");
+  EXPECT_GT(calls, 0u);
+  EXPECT_GT(registry.Counter("fluid.solver.flows_touched"), 0u);
+  // Re-exporting without new work adds nothing (deltas, not totals).
+  sim.ExportSolverMetrics(registry);
+  EXPECT_EQ(registry.Counter("fluid.solver.recompute_calls"), calls);
 }
 
 TEST(FluidTest, CompletionCallbackCanChainFlows) {
@@ -266,6 +408,20 @@ TEST(SpanStreamTest, UnequalStreamsMakespanIsSlowest) {
   const ParallelRunResult res = RunStreams(&sim, std::move(streams));
   EXPECT_NEAR(res.end - res.start, Seconds(1), 1e3);  // slow stream
   EXPECT_NEAR(res.gbps, 2.0, 0.01);
+}
+
+TEST(SpanStreamTest, ReleasesRecordsAndReportsSolverWork) {
+  FluidSimulator sim;
+  const ResourceId r = sim.AddResource("link", GBps(10));
+  std::vector<std::unique_ptr<SpanStream>> streams;
+  for (int i = 0; i < 4; ++i) {
+    streams.push_back(std::make_unique<SpanStream>(
+        &sim, std::vector<Span>{Span{1e9, {r}}, Span{1e9, {r}}}));
+  }
+  const ParallelRunResult res = RunStreams(&sim, std::move(streams));
+  EXPECT_EQ(sim.record_count(), 0u);  // every span record retired
+  EXPECT_GT(res.solver.recompute_calls, 0u);
+  EXPECT_GT(res.solver.flows_touched, 0u);
 }
 
 }  // namespace
