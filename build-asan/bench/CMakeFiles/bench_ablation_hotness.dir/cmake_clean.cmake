@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ablation_hotness.dir/bench_ablation_hotness.cc.o"
+  "CMakeFiles/bench_ablation_hotness.dir/bench_ablation_hotness.cc.o.d"
+  "bench_ablation_hotness"
+  "bench_ablation_hotness.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_hotness.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ablation_migration.dir/bench_ablation_migration.cc.o"
+  "CMakeFiles/bench_ablation_migration.dir/bench_ablation_migration.cc.o.d"
+  "bench_ablation_migration"
+  "bench_ablation_migration.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_migration.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

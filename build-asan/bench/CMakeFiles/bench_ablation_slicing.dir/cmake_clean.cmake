@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ablation_slicing.dir/bench_ablation_slicing.cc.o"
+  "CMakeFiles/bench_ablation_slicing.dir/bench_ablation_slicing.cc.o.d"
+  "bench_ablation_slicing"
+  "bench_ablation_slicing.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_slicing.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_failure.dir/bench_failure.cc.o"
+  "CMakeFiles/bench_failure.dir/bench_failure.cc.o.d"
+  "bench_failure"
+  "bench_failure.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_failure.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig2_vector8gb.dir/bench_fig2_vector8gb.cc.o"
+  "CMakeFiles/bench_fig2_vector8gb.dir/bench_fig2_vector8gb.cc.o.d"
+  "bench_fig2_vector8gb"
+  "bench_fig2_vector8gb.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig2_vector8gb.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig3_vector24gb.dir/bench_fig3_vector24gb.cc.o"
+  "CMakeFiles/bench_fig3_vector24gb.dir/bench_fig3_vector24gb.cc.o.d"
+  "bench_fig3_vector24gb"
+  "bench_fig3_vector24gb.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig3_vector24gb.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig4_vector64gb.dir/bench_fig4_vector64gb.cc.o"
+  "CMakeFiles/bench_fig4_vector64gb.dir/bench_fig4_vector64gb.cc.o.d"
+  "bench_fig4_vector64gb"
+  "bench_fig4_vector64gb.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig4_vector64gb.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

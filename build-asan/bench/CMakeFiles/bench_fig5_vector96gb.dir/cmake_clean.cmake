@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig5_vector96gb.dir/bench_fig5_vector96gb.cc.o"
+  "CMakeFiles/bench_fig5_vector96gb.dir/bench_fig5_vector96gb.cc.o.d"
+  "bench_fig5_vector96gb"
+  "bench_fig5_vector96gb.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig5_vector96gb.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

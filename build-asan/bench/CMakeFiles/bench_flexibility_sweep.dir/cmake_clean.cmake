@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_flexibility_sweep.dir/bench_flexibility_sweep.cc.o"
+  "CMakeFiles/bench_flexibility_sweep.dir/bench_flexibility_sweep.cc.o.d"
+  "bench_flexibility_sweep"
+  "bench_flexibility_sweep.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_flexibility_sweep.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_gups.dir/bench_gups.cc.o"
+  "CMakeFiles/bench_gups.dir/bench_gups.cc.o.d"
+  "bench_gups"
+  "bench_gups.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_gups.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_incast.dir/bench_incast.cc.o"
+  "CMakeFiles/bench_incast.dir/bench_incast.cc.o.d"
+  "bench_incast"
+  "bench_incast.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_incast.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_multirack.dir/bench_multirack.cc.o"
+  "CMakeFiles/bench_multirack.dir/bench_multirack.cc.o.d"
+  "bench_multirack"
+  "bench_multirack.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_multirack.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_nearmem_shipping.dir/bench_nearmem_shipping.cc.o"
+  "CMakeFiles/bench_nearmem_shipping.dir/bench_nearmem_shipping.cc.o.d"
+  "bench_nearmem_shipping"
+  "bench_nearmem_shipping.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_nearmem_shipping.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for bench_nearmem_shipping.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_qos.dir/bench_qos.cc.o"
+  "CMakeFiles/bench_qos.dir/bench_qos.cc.o.d"
+  "bench_qos"
+  "bench_qos.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_qos.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ship_scheduler.dir/bench_ship_scheduler.cc.o"
+  "CMakeFiles/bench_ship_scheduler.dir/bench_ship_scheduler.cc.o.d"
+  "bench_ship_scheduler"
+  "bench_ship_scheduler.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ship_scheduler.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_snoop_filter.dir/bench_snoop_filter.cc.o"
+  "CMakeFiles/bench_snoop_filter.dir/bench_snoop_filter.cc.o.d"
+  "bench_snoop_filter"
+  "bench_snoop_filter.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_snoop_filter.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_software_vs_hardware.dir/bench_software_vs_hardware.cc.o"
+  "CMakeFiles/bench_software_vs_hardware.dir/bench_software_vs_hardware.cc.o.d"
+  "bench_software_vs_hardware"
+  "bench_software_vs_hardware.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_software_vs_hardware.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

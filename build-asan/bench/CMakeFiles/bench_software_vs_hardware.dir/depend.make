@@ -1,0 +1,2 @@
+# Empty dependencies file for bench_software_vs_hardware.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table1_memchar.dir/bench_table1_memchar.cc.o"
+  "CMakeFiles/bench_table1_memchar.dir/bench_table1_memchar.cc.o.d"
+  "bench_table1_memchar"
+  "bench_table1_memchar.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table1_memchar.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

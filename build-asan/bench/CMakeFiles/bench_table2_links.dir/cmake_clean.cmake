@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table2_links.dir/bench_table2_links.cc.o"
+  "CMakeFiles/bench_table2_links.dir/bench_table2_links.cc.o.d"
+  "bench_table2_links"
+  "bench_table2_links.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table2_links.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/flexible_sizing.dir/flexible_sizing.cpp.o"
+  "CMakeFiles/flexible_sizing.dir/flexible_sizing.cpp.o.d"
+  "flexible_sizing"
+  "flexible_sizing.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/flexible_sizing.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/near_memory_compute.dir/near_memory_compute.cpp.o"
+  "CMakeFiles/near_memory_compute.dir/near_memory_compute.cpp.o.d"
+  "near_memory_compute"
+  "near_memory_compute.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/near_memory_compute.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for near_memory_compute.
+# This may be replaced when dependencies are built.

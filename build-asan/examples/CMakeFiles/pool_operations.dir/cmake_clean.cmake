@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pool_operations.dir/pool_operations.cpp.o"
+  "CMakeFiles/pool_operations.dir/pool_operations.cpp.o.d"
+  "pool_operations"
+  "pool_operations.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pool_operations.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

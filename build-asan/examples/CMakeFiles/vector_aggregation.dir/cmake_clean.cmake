@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/vector_aggregation.dir/vector_aggregation.cpp.o"
+  "CMakeFiles/vector_aggregation.dir/vector_aggregation.cpp.o.d"
+  "vector_aggregation"
+  "vector_aggregation.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/vector_aggregation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for vector_aggregation.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/lmp_baselines.dir/logical.cc.o"
+  "CMakeFiles/lmp_baselines.dir/logical.cc.o.d"
+  "CMakeFiles/lmp_baselines.dir/physical.cc.o"
+  "CMakeFiles/lmp_baselines.dir/physical.cc.o.d"
+  "CMakeFiles/lmp_baselines.dir/software_swap.cc.o"
+  "CMakeFiles/lmp_baselines.dir/software_swap.cc.o.d"
+  "liblmp_baselines.a"
+  "liblmp_baselines.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/lmp_baselines.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

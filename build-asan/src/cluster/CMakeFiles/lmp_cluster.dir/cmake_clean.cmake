@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/lmp_cluster.dir/cluster.cc.o"
+  "CMakeFiles/lmp_cluster.dir/cluster.cc.o.d"
+  "CMakeFiles/lmp_cluster.dir/cost_model.cc.o"
+  "CMakeFiles/lmp_cluster.dir/cost_model.cc.o.d"
+  "CMakeFiles/lmp_cluster.dir/server.cc.o"
+  "CMakeFiles/lmp_cluster.dir/server.cc.o.d"
+  "liblmp_cluster.a"
+  "liblmp_cluster.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/lmp_cluster.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/lmp_common.dir/config.cc.o"
+  "CMakeFiles/lmp_common.dir/config.cc.o.d"
+  "CMakeFiles/lmp_common.dir/histogram.cc.o"
+  "CMakeFiles/lmp_common.dir/histogram.cc.o.d"
+  "CMakeFiles/lmp_common.dir/logging.cc.o"
+  "CMakeFiles/lmp_common.dir/logging.cc.o.d"
+  "CMakeFiles/lmp_common.dir/metrics.cc.o"
+  "CMakeFiles/lmp_common.dir/metrics.cc.o.d"
+  "CMakeFiles/lmp_common.dir/rng.cc.o"
+  "CMakeFiles/lmp_common.dir/rng.cc.o.d"
+  "CMakeFiles/lmp_common.dir/status.cc.o"
+  "CMakeFiles/lmp_common.dir/status.cc.o.d"
+  "CMakeFiles/lmp_common.dir/table.cc.o"
+  "CMakeFiles/lmp_common.dir/table.cc.o.d"
+  "liblmp_common.a"
+  "liblmp_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/lmp_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "liblmp_common.a"
+)

@@ -1,0 +1,41 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/core/access_bits.cc" "src/core/CMakeFiles/lmp_core.dir/access_bits.cc.o" "gcc" "src/core/CMakeFiles/lmp_core.dir/access_bits.cc.o.d"
+  "/root/repo/src/core/coherence.cc" "src/core/CMakeFiles/lmp_core.dir/coherence.cc.o" "gcc" "src/core/CMakeFiles/lmp_core.dir/coherence.cc.o.d"
+  "/root/repo/src/core/coherent_region.cc" "src/core/CMakeFiles/lmp_core.dir/coherent_region.cc.o" "gcc" "src/core/CMakeFiles/lmp_core.dir/coherent_region.cc.o.d"
+  "/root/repo/src/core/compute_ship.cc" "src/core/CMakeFiles/lmp_core.dir/compute_ship.cc.o" "gcc" "src/core/CMakeFiles/lmp_core.dir/compute_ship.cc.o.d"
+  "/root/repo/src/core/erasure.cc" "src/core/CMakeFiles/lmp_core.dir/erasure.cc.o" "gcc" "src/core/CMakeFiles/lmp_core.dir/erasure.cc.o.d"
+  "/root/repo/src/core/hotness.cc" "src/core/CMakeFiles/lmp_core.dir/hotness.cc.o" "gcc" "src/core/CMakeFiles/lmp_core.dir/hotness.cc.o.d"
+  "/root/repo/src/core/lmp.cc" "src/core/CMakeFiles/lmp_core.dir/lmp.cc.o" "gcc" "src/core/CMakeFiles/lmp_core.dir/lmp.cc.o.d"
+  "/root/repo/src/core/local_map.cc" "src/core/CMakeFiles/lmp_core.dir/local_map.cc.o" "gcc" "src/core/CMakeFiles/lmp_core.dir/local_map.cc.o.d"
+  "/root/repo/src/core/map_replication.cc" "src/core/CMakeFiles/lmp_core.dir/map_replication.cc.o" "gcc" "src/core/CMakeFiles/lmp_core.dir/map_replication.cc.o.d"
+  "/root/repo/src/core/migration.cc" "src/core/CMakeFiles/lmp_core.dir/migration.cc.o" "gcc" "src/core/CMakeFiles/lmp_core.dir/migration.cc.o.d"
+  "/root/repo/src/core/placement.cc" "src/core/CMakeFiles/lmp_core.dir/placement.cc.o" "gcc" "src/core/CMakeFiles/lmp_core.dir/placement.cc.o.d"
+  "/root/repo/src/core/pool_manager.cc" "src/core/CMakeFiles/lmp_core.dir/pool_manager.cc.o" "gcc" "src/core/CMakeFiles/lmp_core.dir/pool_manager.cc.o.d"
+  "/root/repo/src/core/replication.cc" "src/core/CMakeFiles/lmp_core.dir/replication.cc.o" "gcc" "src/core/CMakeFiles/lmp_core.dir/replication.cc.o.d"
+  "/root/repo/src/core/runtime.cc" "src/core/CMakeFiles/lmp_core.dir/runtime.cc.o" "gcc" "src/core/CMakeFiles/lmp_core.dir/runtime.cc.o.d"
+  "/root/repo/src/core/segment_map.cc" "src/core/CMakeFiles/lmp_core.dir/segment_map.cc.o" "gcc" "src/core/CMakeFiles/lmp_core.dir/segment_map.cc.o.d"
+  "/root/repo/src/core/sizing.cc" "src/core/CMakeFiles/lmp_core.dir/sizing.cc.o" "gcc" "src/core/CMakeFiles/lmp_core.dir/sizing.cc.o.d"
+  "/root/repo/src/core/task_scheduler.cc" "src/core/CMakeFiles/lmp_core.dir/task_scheduler.cc.o" "gcc" "src/core/CMakeFiles/lmp_core.dir/task_scheduler.cc.o.d"
+  "/root/repo/src/core/translation.cc" "src/core/CMakeFiles/lmp_core.dir/translation.cc.o" "gcc" "src/core/CMakeFiles/lmp_core.dir/translation.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build-asan/src/common/CMakeFiles/lmp_common.dir/DependInfo.cmake"
+  "/root/repo/build-asan/src/mem/CMakeFiles/lmp_mem.dir/DependInfo.cmake"
+  "/root/repo/build-asan/src/cluster/CMakeFiles/lmp_cluster.dir/DependInfo.cmake"
+  "/root/repo/build-asan/src/fabric/CMakeFiles/lmp_fabric.dir/DependInfo.cmake"
+  "/root/repo/build-asan/src/sim/CMakeFiles/lmp_sim.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/fabric/cxl.cc" "src/fabric/CMakeFiles/lmp_fabric.dir/cxl.cc.o" "gcc" "src/fabric/CMakeFiles/lmp_fabric.dir/cxl.cc.o.d"
+  "/root/repo/src/fabric/link.cc" "src/fabric/CMakeFiles/lmp_fabric.dir/link.cc.o" "gcc" "src/fabric/CMakeFiles/lmp_fabric.dir/link.cc.o.d"
+  "/root/repo/src/fabric/pbr_switch.cc" "src/fabric/CMakeFiles/lmp_fabric.dir/pbr_switch.cc.o" "gcc" "src/fabric/CMakeFiles/lmp_fabric.dir/pbr_switch.cc.o.d"
+  "/root/repo/src/fabric/topology.cc" "src/fabric/CMakeFiles/lmp_fabric.dir/topology.cc.o" "gcc" "src/fabric/CMakeFiles/lmp_fabric.dir/topology.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build-asan/src/common/CMakeFiles/lmp_common.dir/DependInfo.cmake"
+  "/root/repo/build-asan/src/sim/CMakeFiles/lmp_sim.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/lmp_fabric.dir/cxl.cc.o"
+  "CMakeFiles/lmp_fabric.dir/cxl.cc.o.d"
+  "CMakeFiles/lmp_fabric.dir/link.cc.o"
+  "CMakeFiles/lmp_fabric.dir/link.cc.o.d"
+  "CMakeFiles/lmp_fabric.dir/pbr_switch.cc.o"
+  "CMakeFiles/lmp_fabric.dir/pbr_switch.cc.o.d"
+  "CMakeFiles/lmp_fabric.dir/topology.cc.o"
+  "CMakeFiles/lmp_fabric.dir/topology.cc.o.d"
+  "liblmp_fabric.a"
+  "liblmp_fabric.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/lmp_fabric.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/lmp_mem.dir/frame_allocator.cc.o"
+  "CMakeFiles/lmp_mem.dir/frame_allocator.cc.o.d"
+  "CMakeFiles/lmp_mem.dir/lru_cache.cc.o"
+  "CMakeFiles/lmp_mem.dir/lru_cache.cc.o.d"
+  "liblmp_mem.a"
+  "liblmp_mem.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/lmp_mem.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

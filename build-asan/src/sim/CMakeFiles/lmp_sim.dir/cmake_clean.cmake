@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/lmp_sim.dir/fluid.cc.o"
+  "CMakeFiles/lmp_sim.dir/fluid.cc.o.d"
+  "CMakeFiles/lmp_sim.dir/stream.cc.o"
+  "CMakeFiles/lmp_sim.dir/stream.cc.o.d"
+  "liblmp_sim.a"
+  "liblmp_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/lmp_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

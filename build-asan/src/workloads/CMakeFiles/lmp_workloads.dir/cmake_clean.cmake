@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/lmp_workloads.dir/graph.cc.o"
+  "CMakeFiles/lmp_workloads.dir/graph.cc.o.d"
+  "CMakeFiles/lmp_workloads.dir/gups.cc.o"
+  "CMakeFiles/lmp_workloads.dir/gups.cc.o.d"
+  "CMakeFiles/lmp_workloads.dir/kv_store.cc.o"
+  "CMakeFiles/lmp_workloads.dir/kv_store.cc.o.d"
+  "CMakeFiles/lmp_workloads.dir/trace.cc.o"
+  "CMakeFiles/lmp_workloads.dir/trace.cc.o.d"
+  "CMakeFiles/lmp_workloads.dir/vector_sum.cc.o"
+  "CMakeFiles/lmp_workloads.dir/vector_sum.cc.o.d"
+  "liblmp_workloads.a"
+  "liblmp_workloads.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/lmp_workloads.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/access_bits_test.dir/access_bits_test.cc.o"
+  "CMakeFiles/access_bits_test.dir/access_bits_test.cc.o.d"
+  "access_bits_test"
+  "access_bits_test.pdb"
+  "access_bits_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/access_bits_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

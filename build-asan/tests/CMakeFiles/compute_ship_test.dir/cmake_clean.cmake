@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/compute_ship_test.dir/compute_ship_test.cc.o"
+  "CMakeFiles/compute_ship_test.dir/compute_ship_test.cc.o.d"
+  "compute_ship_test"
+  "compute_ship_test.pdb"
+  "compute_ship_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/compute_ship_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

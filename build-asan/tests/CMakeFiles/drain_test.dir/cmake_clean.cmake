@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/drain_test.dir/drain_test.cc.o"
+  "CMakeFiles/drain_test.dir/drain_test.cc.o.d"
+  "drain_test"
+  "drain_test.pdb"
+  "drain_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/drain_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

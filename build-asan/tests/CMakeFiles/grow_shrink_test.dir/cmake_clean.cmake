@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/grow_shrink_test.dir/grow_shrink_test.cc.o"
+  "CMakeFiles/grow_shrink_test.dir/grow_shrink_test.cc.o.d"
+  "grow_shrink_test"
+  "grow_shrink_test.pdb"
+  "grow_shrink_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/grow_shrink_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gups_test.dir/gups_test.cc.o"
+  "CMakeFiles/gups_test.dir/gups_test.cc.o.d"
+  "gups_test"
+  "gups_test.pdb"
+  "gups_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gups_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hotness_test.dir/hotness_test.cc.o"
+  "CMakeFiles/hotness_test.dir/hotness_test.cc.o.d"
+  "hotness_test"
+  "hotness_test.pdb"
+  "hotness_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hotness_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

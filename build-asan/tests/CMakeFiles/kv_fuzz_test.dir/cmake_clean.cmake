@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/kv_fuzz_test.dir/kv_fuzz_test.cc.o"
+  "CMakeFiles/kv_fuzz_test.dir/kv_fuzz_test.cc.o.d"
+  "kv_fuzz_test"
+  "kv_fuzz_test.pdb"
+  "kv_fuzz_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/kv_fuzz_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/map_replication_test.dir/map_replication_test.cc.o"
+  "CMakeFiles/map_replication_test.dir/map_replication_test.cc.o.d"
+  "map_replication_test"
+  "map_replication_test.pdb"
+  "map_replication_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/map_replication_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pbr_switch_test.dir/pbr_switch_test.cc.o"
+  "CMakeFiles/pbr_switch_test.dir/pbr_switch_test.cc.o.d"
+  "pbr_switch_test"
+  "pbr_switch_test.pdb"
+  "pbr_switch_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pbr_switch_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ship_integration_test.dir/ship_integration_test.cc.o"
+  "CMakeFiles/ship_integration_test.dir/ship_integration_test.cc.o.d"
+  "ship_integration_test"
+  "ship_integration_test.pdb"
+  "ship_integration_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ship_integration_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/software_swap_test.dir/software_swap_test.cc.o"
+  "CMakeFiles/software_swap_test.dir/software_swap_test.cc.o.d"
+  "software_swap_test"
+  "software_swap_test.pdb"
+  "software_swap_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/software_swap_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

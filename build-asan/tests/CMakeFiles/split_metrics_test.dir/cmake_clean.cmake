@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/split_metrics_test.dir/split_metrics_test.cc.o"
+  "CMakeFiles/split_metrics_test.dir/split_metrics_test.cc.o.d"
+  "split_metrics_test"
+  "split_metrics_test.pdb"
+  "split_metrics_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/split_metrics_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/timing_mode_test.dir/timing_mode_test.cc.o"
+  "CMakeFiles/timing_mode_test.dir/timing_mode_test.cc.o.d"
+  "timing_mode_test"
+  "timing_mode_test.pdb"
+  "timing_mode_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/timing_mode_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/trace_test.cc" "tests/CMakeFiles/trace_test.dir/trace_test.cc.o" "gcc" "tests/CMakeFiles/trace_test.dir/trace_test.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build-asan/src/workloads/CMakeFiles/lmp_workloads.dir/DependInfo.cmake"
+  "/root/repo/build-asan/src/baselines/CMakeFiles/lmp_baselines.dir/DependInfo.cmake"
+  "/root/repo/build-asan/src/core/CMakeFiles/lmp_core.dir/DependInfo.cmake"
+  "/root/repo/build-asan/src/cluster/CMakeFiles/lmp_cluster.dir/DependInfo.cmake"
+  "/root/repo/build-asan/src/fabric/CMakeFiles/lmp_fabric.dir/DependInfo.cmake"
+  "/root/repo/build-asan/src/mem/CMakeFiles/lmp_mem.dir/DependInfo.cmake"
+  "/root/repo/build-asan/src/sim/CMakeFiles/lmp_sim.dir/DependInfo.cmake"
+  "/root/repo/build-asan/src/common/CMakeFiles/lmp_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/typed_buffer_test.dir/typed_buffer_test.cc.o"
+  "CMakeFiles/typed_buffer_test.dir/typed_buffer_test.cc.o.d"
+  "typed_buffer_test"
+  "typed_buffer_test.pdb"
+  "typed_buffer_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/typed_buffer_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
