@@ -8,11 +8,13 @@
 
 #include "common/rng.h"
 #include "common/table.h"
+#include "common/trace.h"
 #include "core/migration.h"
 #include "core/pool_manager.h"
 #include "fabric/topology.h"
 #include "sim/fluid.h"
 #include "sim/stream.h"
+#include "trace_sidecar.h"
 
 namespace {
 
@@ -24,13 +26,20 @@ struct EpochSeries {
   int migrations = 0;
 };
 
-EpochSeries RunWorkload(bool migration_on) {
+EpochSeries RunWorkload(bool migration_on,
+                        trace::TraceCollector* trace = nullptr) {
   sim::FluidSimulator sim;
   auto topo =
       fabric::Topology::MakeLogical(&sim, 4, fabric::LinkProfile::Link1());
   cluster::ClusterConfig config = cluster::ClusterConfig::PaperLogical();
   cluster::Cluster cluster(config);
   core::PoolManager manager(&cluster);
+  if (trace != nullptr) {
+    trace->BeginProcess(migration_on ? "migration-on" : "migration-off");
+    trace->set_clock([&sim] { return sim.now(); });
+    sim.set_trace(trace);
+    manager.set_trace(trace);
+  }
   // Epochs span seconds of simulated time; the hotness half-life must
   // cover several epochs or all traffic decays before the balancer looks.
   manager.access_tracker().set_half_life(Seconds(20));
@@ -85,6 +94,12 @@ EpochSeries RunWorkload(bool migration_on) {
       LMP_CHECK_OK(manager.Touch(hot_server, buf, 0, GiB(4), sim.now()));
     }
     series.gbps.push_back(ToGBps(epoch_bytes, sim.now() - epoch_start));
+    if (trace != nullptr) {
+      topo.SampleUtilization(trace);
+      trace->Instant(trace::Category::kHarness, "epoch_end", sim.now(),
+                     {trace::Arg("epoch", epoch),
+                      trace::Arg("gbps", series.gbps.back())});
+    }
 
     if (migration_on) {
       std::vector<core::MigrationRecord> records;
@@ -111,16 +126,18 @@ EpochSeries RunWorkload(bool migration_on) {
     total_bytes += static_cast<double>(GiB(4));
   }
   series.final_local_fraction = local_bytes / total_bytes;
+  if (trace != nullptr) trace->set_clock({});
   return series;
 }
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  lmp::bench::TraceSidecar sidecar(argc, argv);
   std::printf(
       "== Migration ablation: Zipf(0.9) reads from server 0, Link1 ==\n");
-  const EpochSeries off = RunWorkload(false);
-  const EpochSeries on = RunWorkload(true);
+  const EpochSeries off = RunWorkload(false, sidecar.collector());
+  const EpochSeries on = RunWorkload(true, sidecar.collector());
 
   TablePrinter table({"Epoch", "Migration OFF GB/s", "Migration ON GB/s"});
   for (std::size_t e = 0; e < off.gbps.size(); ++e) {
@@ -135,5 +152,6 @@ int main() {
       on.migrations, off.migrations, 100 * on.final_local_fraction,
       100 * off.final_local_fraction,
       on.gbps.back() / off.gbps.back());
+  sidecar.Flush();
   return 0;
 }

@@ -5,12 +5,14 @@
 #include <cstdio>
 
 #include "common/table.h"
+#include "common/trace.h"
 #include "core/erasure.h"
 #include "core/pool_manager.h"
 #include "core/replication.h"
 #include "fabric/topology.h"
 #include "sim/fluid.h"
 #include "sim/stream.h"
+#include "trace_sidecar.h"
 
 namespace {
 
@@ -45,10 +47,16 @@ SimTime PriceRecovery(Bytes bytes) {
   return r.end - r.start;
 }
 
-FailureOutcome RunReplication() {
+FailureOutcome RunReplication(trace::TraceCollector* trace = nullptr) {
   cluster::Cluster cluster(Config());
   core::PoolManager manager(&cluster);
   core::ReplicationManager repl(&manager, 1);
+  if (trace != nullptr) {
+    // The functional layer alone carries no sim clock; crash/failover/
+    // replica events land at t=0 of this scheme's own process.
+    trace->BeginProcess("replication");
+    manager.set_trace(trace);
+  }
 
   std::vector<core::BufferId> buffers;
   for (int i = 0; i < kSegments; ++i) {
@@ -73,10 +81,15 @@ FailureOutcome RunReplication() {
   return out;
 }
 
-FailureOutcome RunErasure(int group_size) {
+FailureOutcome RunErasure(int group_size,
+                          trace::TraceCollector* trace = nullptr) {
   cluster::Cluster cluster(Config());
   core::PoolManager manager(&cluster);
   core::XorErasureManager erasure(&manager, group_size);
+  if (trace != nullptr) {
+    trace->BeginProcess("erasure-k" + std::to_string(group_size));
+    manager.set_trace(trace);
+  }
 
   std::vector<core::SegmentId> segments;
   for (int i = 0; i < kSegments; ++i) {
@@ -104,7 +117,8 @@ FailureOutcome RunErasure(int group_size) {
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  lmp::bench::TraceSidecar sidecar(argc, argv);
   std::printf(
       "== Failure handling: 8 x 2 GiB segments, crash of server 0 ==\n");
   TablePrinter table({"Scheme", "Capacity overhead", "Data lost",
@@ -117,14 +131,15 @@ int main() {
                   TablePrinter::Num(out.recovery_time / kNsPerMs, 0) +
                       " ms"});
   };
-  add("Replication (1 extra copy)", RunReplication());
-  add("XOR erasure (k=2)", RunErasure(2));
-  add("XOR erasure (k=3)", RunErasure(3));
+  add("Replication (1 extra copy)", RunReplication(sidecar.collector()));
+  add("XOR erasure (k=2)", RunErasure(2, sidecar.collector()));
+  add("XOR erasure (k=3)", RunErasure(3, sidecar.collector()));
   table.Print();
   std::printf(
       "\nReplication recovers instantly (failover) but costs 2x capacity;\n"
       "erasure cuts the overhead to 1+1/k at the price of reading k\n"
       "survivor segments per rebuild — the classic trade the paper points\n"
       "to via Carbink (Section 5).\n");
+  sidecar.Flush();
   return 0;
 }

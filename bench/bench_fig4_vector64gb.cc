@@ -1,10 +1,13 @@
 // Reproduces Figure 4 of the paper: 64 GiB vector-sum bandwidth on
 // Logical vs Physical cache vs Physical no-cache, over Link0 and Link1.
 #include "figure_harness.h"
+#include "trace_sidecar.h"
 
-int main() {
+int main(int argc, char** argv) {
+  lmp::bench::TraceSidecar sidecar(argc, argv);
   const lmp::Bytes size = lmp::GiB(64);
-  auto rows = lmp::bench::RunFigure(size);
+  auto rows = lmp::bench::RunFigure(size, 10, sidecar.collector());
   lmp::bench::PrintFigure("Figure 4", size, rows);
+  sidecar.Flush();
   return 0;
 }

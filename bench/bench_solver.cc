@@ -18,8 +18,10 @@
 #include "common/metrics.h"
 #include "common/rng.h"
 #include "common/table.h"
+#include "common/trace.h"
 #include "common/units.h"
 #include "sim/fluid.h"
+#include "trace_sidecar.h"
 
 namespace {
 
@@ -61,11 +63,18 @@ struct ChurnResult {
 // until `total` flows have been issued.  The Rng draw sequence is identical
 // across modes because completions fire in the same (deterministic) order.
 ChurnResult RunChurn(bool incremental, double remote_fraction,
-                     int concurrency, int total, std::uint64_t seed) {
+                     int concurrency, int total, std::uint64_t seed,
+                     trace::TraceCollector* trace = nullptr) {
   sim::FluidSimulator sim;
   sim.set_incremental(incremental);
   sim.set_solver_timing(true);
   sim.set_record_retention(sim::RecordRetention::kDropCompleted);
+  if (trace != nullptr) {
+    trace->BeginProcess(std::string(incremental ? "inc" : "full") +
+                        "/remote" + std::to_string(remote_fraction) +
+                        "/c" + std::to_string(concurrency));
+    sim.set_trace(trace);
+  }
   Topology topo = BuildTopology(sim);
 
   Rng rng(seed);
@@ -108,7 +117,8 @@ ChurnResult RunChurn(bool incremental, double remote_fraction,
 
 }  // namespace
 
-void RunSweep(double remote_fraction) {
+void RunSweep(double remote_fraction,
+              lmp::trace::TraceCollector* trace = nullptr) {
   std::printf(
       "== Solver: incremental vs full recompute (%d-server topology, "
       "%.0f%% remote flows) ==\n",
@@ -119,9 +129,9 @@ void RunSweep(double remote_fraction) {
   for (const int concurrency : {1000, 4000, 10000}) {
     const int total = concurrency + 4000;  // 4000 churn events after fill
     const ChurnResult full = RunChurn(/*incremental=*/false, remote_fraction,
-                                      concurrency, total, 42);
+                                      concurrency, total, 42, trace);
     const ChurnResult inc = RunChurn(/*incremental=*/true, remote_fraction,
-                                     concurrency, total, 42);
+                                     concurrency, total, 42, trace);
     LMP_CHECK(full.sim_end == inc.sim_end)
         << "modes diverged: " << full.sim_end << " vs " << inc.sim_end;
     LMP_CHECK(full.bytes_served == inc.bytes_served)
@@ -146,17 +156,19 @@ void RunSweep(double remote_fraction) {
   std::printf("\n");
 }
 
-int main() {
+int main(int argc, char** argv) {
+  lmp::bench::TraceSidecar sidecar(argc, argv);
   // Local-dominant churn (the paper's shipped/local pattern): flows cluster
   // per server, so the incremental solver re-rates ~1/4 of the flows.
-  RunSweep(/*remote_fraction=*/0.0);
+  RunSweep(/*remote_fraction=*/0.0, sidecar.collector());
   // Bridged churn: 5% remote flows keep all servers in one connected
   // component, so incrementality degenerates to a full (but allocation-free
   // and sort-free) pass — the floor, not the headline.
-  RunSweep(/*remote_fraction=*/0.05);
+  RunSweep(/*remote_fraction=*/0.05, sidecar.collector());
   std::printf(
       "Simulated results are bit-identical in both modes (checked); the\n"
       "speedup is solver wall-clock only.  Solver counters:\n%s",
       MetricsRegistry::Global().Report().c_str());
+  sidecar.Flush();
   return 0;
 }

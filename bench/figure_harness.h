@@ -14,6 +14,7 @@
 #include "baselines/logical.h"
 #include "baselines/physical.h"
 #include "common/table.h"
+#include "common/trace.h"
 #include "common/units.h"
 #include "fabric/link.h"
 
@@ -25,8 +26,11 @@ struct FigureRow {
   baselines::VectorSumResult result;
 };
 
-inline std::vector<FigureRow> RunFigure(Bytes vector_bytes,
-                                        int repetitions = 10) {
+// With a collector, each deployment/link run becomes its own trace process
+// (its simulator restarts at t=0) carrying flow spans and a harness marker.
+inline std::vector<FigureRow> RunFigure(
+    Bytes vector_bytes, int repetitions = 10,
+    trace::TraceCollector* trace = nullptr) {
   std::vector<FigureRow> rows;
   for (const auto& link :
        {fabric::LinkProfile::Link0(), fabric::LinkProfile::Link1()}) {
@@ -34,21 +38,41 @@ inline std::vector<FigureRow> RunFigure(Bytes vector_bytes,
     params.vector_bytes = vector_bytes;
     params.repetitions = repetitions;
 
+    const auto attach = [&](sim::FluidSimulator& sim, std::string name) {
+      if (trace == nullptr) return;
+      trace->BeginProcess(name + "/" + link.name);
+      trace->set_clock([&sim] { return sim.now(); });
+      sim.set_trace(trace);
+      trace->Instant(trace::Category::kHarness, "run_start", sim.now(),
+                     {trace::Arg("vector_bytes", vector_bytes),
+                      trace::Arg("repetitions", repetitions)});
+    };
+    const auto detach = [&] {
+      if (trace != nullptr) trace->set_clock({});
+    };
+
     {
       baselines::LogicalDeployment logical(link);
+      attach(logical.simulator(), "Logical");
+      if (trace != nullptr) logical.manager().set_trace(trace);
       auto r = logical.RunVectorSum(params);
+      detach();
       LMP_CHECK(r.ok()) << r.status();
       rows.push_back(FigureRow{"Logical", link.name, r.value()});
     }
     {
       baselines::PhysicalDeployment cache(link, /*use_cache=*/true);
+      attach(cache.simulator(), "Physical cache");
       auto r = cache.RunVectorSum(params);
+      detach();
       LMP_CHECK(r.ok()) << r.status();
       rows.push_back(FigureRow{"Physical cache", link.name, r.value()});
     }
     {
       baselines::PhysicalDeployment nocache(link, /*use_cache=*/false);
+      attach(nocache.simulator(), "Physical no-cache");
       auto r = nocache.RunVectorSum(params);
+      detach();
       LMP_CHECK(r.ok()) << r.status();
       rows.push_back(FigureRow{"Physical no-cache", link.name, r.value()});
     }

@@ -1,0 +1,73 @@
+// Command-line plumbing for the tracing/metrics layer, shared by the bench
+// binaries:
+//
+//   --trace-out=PATH    write a Chrome trace_event JSON (chrome://tracing,
+//                       https://ui.perfetto.dev) of the run
+//   --metrics-out=PATH  write a JSON dump of every MetricsRegistry counter
+//
+// Without either flag the sidecar hands out a null collector and the
+// binaries' stdout is byte-identical to a build without tracing at all.
+// Status notes about written files go to stderr so stdout stays clean for
+// diffing.
+#pragma once
+
+#include <cstdio>
+#include <string>
+#include <string_view>
+
+#include "common/metrics.h"
+#include "common/trace.h"
+
+namespace lmp::bench {
+
+class TraceSidecar {
+ public:
+  TraceSidecar(int argc, char** argv) {
+    for (int i = 1; i < argc; ++i) {
+      const std::string_view arg = argv[i];
+      constexpr std::string_view kTrace = "--trace-out=";
+      constexpr std::string_view kMetrics = "--metrics-out=";
+      if (arg.substr(0, kTrace.size()) == kTrace) {
+        trace_path_ = std::string(arg.substr(kTrace.size()));
+      } else if (arg.substr(0, kMetrics.size()) == kMetrics) {
+        metrics_path_ = std::string(arg.substr(kMetrics.size()));
+      }
+    }
+  }
+
+  // Null when --trace-out was not given: emitters skip all work.
+  trace::TraceCollector* collector() {
+    return trace_path_.empty() ? nullptr : &collector_;
+  }
+
+  // Writes the requested files (call once, after the run).
+  void Flush() {
+    if (!trace_path_.empty()) {
+      const Status st = collector_.WriteChromeJson(trace_path_);
+      if (st.ok()) {
+        std::fprintf(stderr, "trace: %zu events -> %s\n",
+                     collector_.event_count(), trace_path_.c_str());
+      } else {
+        std::fprintf(stderr, "trace: write failed: %s\n",
+                     st.ToString().c_str());
+      }
+    }
+    if (!metrics_path_.empty()) {
+      const Status st =
+          trace::WriteMetricsJson(MetricsRegistry::Global(), metrics_path_);
+      if (st.ok()) {
+        std::fprintf(stderr, "metrics -> %s\n", metrics_path_.c_str());
+      } else {
+        std::fprintf(stderr, "metrics: write failed: %s\n",
+                     st.ToString().c_str());
+      }
+    }
+  }
+
+ private:
+  trace::TraceCollector collector_;
+  std::string trace_path_;
+  std::string metrics_path_;
+};
+
+}  // namespace lmp::bench

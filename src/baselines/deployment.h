@@ -30,6 +30,10 @@ struct VectorSumParams {
   // makes the logical pool's advantage grow as the link slows — the
   // slicing ablation explores the difference.
   bool balanced_slices = false;
+  // Treat accesses as stores: cached pages become dirty and their eviction
+  // charges a writeback transfer to the pool (physical LRU cache only).
+  // The paper's sum is read-only, so this defaults off.
+  bool write = false;
 };
 
 struct VectorSumResult {
@@ -40,6 +44,7 @@ struct VectorSumResult {
   double steady_rep_gbps = 0;       // last repetition
   double local_fraction = 0;        // fraction of vector local to runner
   double cache_hit_rate = 0;        // physical-cache only
+  Bytes writeback_bytes = 0;        // dirty-eviction traffic to the pool
   SimTime total_time_ns = 0;
 };
 

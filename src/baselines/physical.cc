@@ -172,6 +172,11 @@ StatusOr<VectorSumResult> PhysicalDeployment::RunLruCache(
     path.push_back(topology_->dram(runner));
     return path;
   };
+  // Dirty evictions flush back to the pool box by DMA: local DRAM read,
+  // then the same fabric hops a fill takes, in reverse.  No core
+  // constraint — a writeback engine does the copy.
+  std::vector<sim::ResourceId> writeback_path = topology_->DmaPoolPath(runner);
+  writeback_path.insert(writeback_path.begin(), topology_->dram(runner));
 
   const SimTime start = sim_.now();
   double first = 0, last = 0;
@@ -182,6 +187,7 @@ StatusOr<VectorSumResult> PhysicalDeployment::RunLruCache(
     // equal outcome into spans.
     std::vector<std::vector<sim::Span>> core_spans(params.cores);
     std::vector<Bytes> cursor(params.cores, 0);
+    Bytes rep_writeback = 0;
     bool work_left = true;
     while (work_left) {
       work_left = false;
@@ -192,7 +198,10 @@ StatusOr<VectorSumResult> PhysicalDeployment::RunLruCache(
         const Bytes off = slice.offset + cursor[c];
         const Bytes take = std::min<Bytes>(kLruPage, slice.length -
                                                           cursor[c]);
-        const bool hit = cache.Access(off / kLruPage);
+        const bool hit = cache.Access(off / kLruPage, params.write);
+        for (const auto& ev : cache.TakeEvicted()) {
+          if (ev.dirty) rep_writeback += kLruPage;
+        }
         auto& spans = core_spans[c];
         auto path = hit ? topology_->LocalPath(runner, c) : fill_path(c);
         if (!spans.empty() && spans.back().path == path) {
@@ -207,6 +216,14 @@ StatusOr<VectorSumResult> PhysicalDeployment::RunLruCache(
       if (core_spans[c].empty()) continue;
       streams.push_back(std::make_unique<sim::SpanStream>(
           &sim_, std::move(core_spans[c])));
+    }
+    if (rep_writeback > 0) {
+      // One coalesced writeback stream per repetition, contending with the
+      // fills for the server port, pool port, and pool DRAM.
+      streams.push_back(std::make_unique<sim::SpanStream>(
+          &sim_, std::vector<sim::Span>{sim::Span{
+                     static_cast<double>(rep_writeback), writeback_path}}));
+      result.writeback_bytes += rep_writeback;
     }
     const auto rep_result = sim::RunStreams(&sim_, std::move(streams));
     if (rep == 0) first = rep_result.gbps;

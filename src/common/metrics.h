@@ -35,6 +35,14 @@ class MetricsRegistry {
   // All metrics as an aligned table, sorted by name.
   std::string Report() const;
 
+  // Sorted-by-name iteration, for structured exporters (trace::MetricsJson).
+  const std::map<std::string, std::uint64_t, std::less<>>& counters() const {
+    return counters_;
+  }
+  const std::map<std::string, double, std::less<>>& gauges() const {
+    return gauges_;
+  }
+
   // A process-wide registry for components without an injected one.
   static MetricsRegistry& Global();
 

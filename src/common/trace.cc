@@ -1,0 +1,239 @@
+#include "common/trace.h"
+
+#include <cinttypes>
+#include <cstdio>
+
+#include "common/metrics.h"
+
+namespace lmp::trace {
+namespace {
+
+// Escapes a string for embedding inside a JSON string literal.
+std::string EscapeJson(std::string_view s) {
+  std::string out;
+  out.reserve(s.size() + 2);
+  for (char c : s) {
+    switch (c) {
+      case '"':
+        out += "\\\"";
+        break;
+      case '\\':
+        out += "\\\\";
+        break;
+      case '\n':
+        out += "\\n";
+        break;
+      case '\t':
+        out += "\\t";
+        break;
+      case '\r':
+        out += "\\r";
+        break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+  return out;
+}
+
+// Renders a double as a JSON number deterministically.  %.17g round-trips
+// doubles exactly; integral values print without an exponent or fraction.
+std::string NumberJson(double v) {
+  if (v == static_cast<double>(static_cast<std::int64_t>(v)) &&
+      v >= -9.2e18 && v <= 9.2e18) {
+    char buf[32];
+    std::snprintf(buf, sizeof(buf), "%" PRId64,
+                  static_cast<std::int64_t>(v));
+    return buf;
+  }
+  char buf[40];
+  std::snprintf(buf, sizeof(buf), "%.17g", v);
+  return buf;
+}
+
+// Timestamp in microseconds (the trace_event unit) from sim nanoseconds.
+// Fixed three decimal places keep full ns resolution and byte-stable
+// output.
+std::string TimestampJson(SimTime ns) {
+  char buf[48];
+  std::snprintf(buf, sizeof(buf), "%.3f", ns / 1e3);
+  return buf;
+}
+
+std::string RenderArgs(std::initializer_list<Arg> args) {
+  std::string out;
+  for (const Arg& a : args) {
+    if (!out.empty()) out += ',';
+    out += '"';
+    out += EscapeJson(a.key);
+    out += "\":";
+    out += a.json_value;
+  }
+  return out;
+}
+
+Status WriteFile(const std::string& path, const std::string& contents) {
+  std::FILE* f = std::fopen(path.c_str(), "wb");
+  if (f == nullptr) {
+    return InvalidArgumentError("cannot open " + path + " for writing");
+  }
+  const std::size_t written =
+      std::fwrite(contents.data(), 1, contents.size(), f);
+  const int close_rc = std::fclose(f);
+  if (written != contents.size() || close_rc != 0) {
+    return InternalError("short write to " + path);
+  }
+  return Status::Ok();
+}
+
+}  // namespace
+
+std::string_view CategoryName(Category cat) {
+  switch (cat) {
+    case Category::kFlow:
+      return "flow";
+    case Category::kSolver:
+      return "solver";
+    case Category::kMigration:
+      return "migration";
+    case Category::kReplication:
+      return "replication";
+    case Category::kCrash:
+      return "crash";
+    case Category::kTask:
+      return "task";
+    case Category::kLink:
+      return "link";
+    case Category::kHarness:
+      return "harness";
+  }
+  return "unknown";
+}
+
+Arg::Arg(std::string_view k, std::string_view v)
+    : key(k), json_value('"' + EscapeJson(v) + '"') {}
+
+Arg::Arg(std::string_view k, double v) : key(k), json_value(NumberJson(v)) {}
+
+Arg::Arg(std::string_view k, std::uint64_t v) : key(k) {
+  char buf[24];
+  std::snprintf(buf, sizeof(buf), "%" PRIu64, v);
+  json_value = buf;
+}
+
+Arg::Arg(std::string_view k, std::int64_t v) : key(k) {
+  char buf[24];
+  std::snprintf(buf, sizeof(buf), "%" PRId64, v);
+  json_value = buf;
+}
+
+void TraceCollector::BeginProcess(std::string_view name) {
+  ++pid_;
+  events_.push_back(Event{'M', Category::kHarness, "process_name", pid_, 0,
+                          0,
+                          "\"name\":\"" + EscapeJson(name) + '"'});
+}
+
+void TraceCollector::Push(char phase, Category cat, std::string_view name,
+                          std::uint64_t track, SimTime ts,
+                          std::initializer_list<Arg> args) {
+  events_.push_back(Event{phase, cat, std::string(name), pid_, track, ts,
+                          RenderArgs(args)});
+}
+
+void TraceCollector::Begin(Category cat, std::string_view name,
+                           std::uint64_t track, SimTime ts,
+                           std::initializer_list<Arg> args) {
+  Push('B', cat, name, track, ts, args);
+}
+
+void TraceCollector::End(Category cat, std::string_view name,
+                         std::uint64_t track, SimTime ts) {
+  Push('E', cat, name, track, ts, {});
+}
+
+void TraceCollector::Instant(Category cat, std::string_view name, SimTime ts,
+                             std::initializer_list<Arg> args,
+                             std::uint64_t track) {
+  Push('i', cat, name, track, ts, args);
+}
+
+void TraceCollector::Counter(Category cat, std::string_view name, SimTime ts,
+                             double value) {
+  Push('C', cat, name, 0, ts, {Arg("value", value)});
+}
+
+std::string TraceCollector::ToChromeJson() const {
+  std::string out = "{\"traceEvents\":[";
+  bool first = true;
+  char buf[64];
+  for (const Event& e : events_) {
+    if (!first) out += ',';
+    first = false;
+    out += "{\"name\":\"";
+    out += EscapeJson(e.name);
+    out += "\",\"cat\":\"";
+    out += CategoryName(e.cat);
+    out += "\",\"ph\":\"";
+    out += e.phase;
+    out += "\",\"ts\":";
+    out += TimestampJson(e.ts_ns);
+    std::snprintf(buf, sizeof(buf), ",\"pid\":%" PRIu64 ",\"tid\":%" PRIu64,
+                  e.pid, e.tid);
+    out += buf;
+    if (!e.args_json.empty()) {
+      out += ",\"args\":{";
+      out += e.args_json;
+      out += '}';
+    }
+    // Instant events: scoped to the thread (track) they are recorded on.
+    if (e.phase == 'i') out += ",\"s\":\"t\"";
+    out += '}';
+  }
+  out += "],\"displayTimeUnit\":\"ns\"}";
+  return out;
+}
+
+Status TraceCollector::WriteChromeJson(const std::string& path) const {
+  return WriteFile(path, ToChromeJson());
+}
+
+std::string MetricsJson(const MetricsRegistry& registry) {
+  std::string out = "{\"counters\":{";
+  bool first = true;
+  char buf[32];
+  for (const auto& [name, value] : registry.counters()) {
+    if (!first) out += ',';
+    first = false;
+    out += '"';
+    out += EscapeJson(name);
+    out += "\":";
+    std::snprintf(buf, sizeof(buf), "%" PRIu64, value);
+    out += buf;
+  }
+  out += "},\"gauges\":{";
+  first = true;
+  for (const auto& [name, value] : registry.gauges()) {
+    if (!first) out += ',';
+    first = false;
+    out += '"';
+    out += EscapeJson(name);
+    out += "\":";
+    out += NumberJson(value);
+  }
+  out += "}}";
+  return out;
+}
+
+Status WriteMetricsJson(const MetricsRegistry& registry,
+                        const std::string& path) {
+  return WriteFile(path, MetricsJson(registry));
+}
+
+}  // namespace lmp::trace

@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "common/logging.h"
+#include "common/trace.h"
 
 namespace lmp::core {
 
@@ -52,6 +53,13 @@ MigrationRoundStats MigrationEngine::RunOnce(
     ++stats.migrated;
     stats.bytes_moved += rec_or->bytes;
     if (records != nullptr) records->push_back(rec_or.value());
+  }
+  if (trace::TraceCollector* t = manager_->trace(); t != nullptr) {
+    t->Instant(trace::Category::kMigration, "migration_round", now,
+               {trace::Arg("candidates", stats.candidates),
+                trace::Arg("migrated", stats.migrated),
+                trace::Arg("bytes", stats.bytes_moved),
+                trace::Arg("skipped_capacity", stats.skipped_capacity)});
   }
   return stats;
 }

@@ -3,8 +3,17 @@
 #include <algorithm>
 
 #include "common/logging.h"
+#include "common/trace.h"
 
 namespace lmp::core {
+namespace {
+
+// Compact location label for trace-event args ("pool" or "s<N>").
+std::string LocationLabel(const Location& loc) {
+  return loc.is_pool() ? "pool" : "s" + std::to_string(loc.server);
+}
+
+}  // namespace
 
 PoolManager::PoolManager(cluster::Cluster* cluster,
                          std::unique_ptr<PlacementPolicy> policy)
@@ -497,6 +506,13 @@ StatusOr<MigrationRecord> PoolManager::MigrateSegment(SegmentId seg,
       rep = from;
       LMP_CHECK_OK(segments_.UpdateHome(seg, to));
       metrics_->Increment("lmp.migrate.promotions");
+      if (trace_ != nullptr) {
+        trace_->Instant(trace::Category::kMigration, "migrate_promote",
+                        trace_->now(),
+                        {trace::Arg("segment", seg),
+                         trace::Arg("from", LocationLabel(from)),
+                         trace::Arg("to", LocationLabel(to))});
+      }
       return MigrationRecord{seg, from, to, /*bytes=*/0};
     }
   }
@@ -524,6 +540,14 @@ StatusOr<MigrationRecord> PoolManager::MigrateSegment(SegmentId seg,
 
   metrics_->Increment("lmp.migrate.segments");
   metrics_->Increment("lmp.migrate.bytes", info->size);
+  if (trace_ != nullptr) {
+    trace_->Instant(trace::Category::kMigration, "migrate_segment",
+                    trace_->now(),
+                    {trace::Arg("segment", seg),
+                     trace::Arg("from", LocationLabel(from)),
+                     trace::Arg("to", LocationLabel(to)),
+                     trace::Arg("bytes", info->size)});
+  }
   return MigrationRecord{seg, from, to, info->size};
 }
 
@@ -555,6 +579,16 @@ std::vector<SegmentId> PoolManager::OnServerCrash(cluster::ServerId server) {
       recovered = true;
       break;
     }
+    if (trace_ != nullptr) {
+      if (recovered) {
+        trace_->Instant(trace::Category::kCrash, "failover", trace_->now(),
+                        {trace::Arg("segment", seg),
+                         trace::Arg("to", LocationLabel(info->home))});
+      } else {
+        trace_->Instant(trace::Category::kCrash, "segment_lost",
+                        trace_->now(), {trace::Arg("segment", seg)});
+      }
+    }
     if (!recovered) {
       info->state = SegmentState::kLost;
       lost.push_back(seg);
@@ -564,6 +598,13 @@ std::vector<SegmentId> PoolManager::OnServerCrash(cluster::ServerId server) {
   local_maps_.erase(crashed);
   metrics_->Increment("lmp.crash.servers");
   metrics_->Increment("lmp.crash.lost_segments", lost.size());
+  if (trace_ != nullptr) {
+    trace_->Instant(
+        trace::Category::kCrash, "server_crash", trace_->now(),
+        {trace::Arg("server", static_cast<std::uint64_t>(server)),
+         trace::Arg("lost_segments",
+                    static_cast<std::uint64_t>(lost.size()))});
+  }
   return lost;
 }
 

@@ -31,6 +31,10 @@
 #include "core/segment_map.h"
 #include "core/translation.h"
 
+namespace lmp::trace {
+class TraceCollector;
+}
+
 namespace lmp::core {
 
 using BufferId = std::uint64_t;
@@ -169,6 +173,12 @@ class PoolManager {
     metrics_ = registry;
   }
 
+  // Optional trace sink for migration / crash / replication events; null
+  // (the default) disables emission.  Timestamps come from the collector's
+  // clock (set_clock), since the functional layer carries no sim time.
+  void set_trace(trace::TraceCollector* collector) { trace_ = collector; }
+  trace::TraceCollector* trace() const { return trace_; }
+
   // Internals used by the replication/erasure layer ---------------------------
 
   StatusOr<std::vector<mem::FrameRun>> AllocateFramesAt(const Location& loc,
@@ -210,6 +220,7 @@ class PoolManager {
   SegmentId next_segment_ = 0;
   BufferId next_buffer_ = 1;
   MetricsRegistry* metrics_ = &MetricsRegistry::Global();
+  trace::TraceCollector* trace_ = nullptr;
 };
 
 }  // namespace lmp::core

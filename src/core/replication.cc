@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "common/logging.h"
+#include "common/trace.h"
 
 namespace lmp::core {
 
@@ -65,6 +66,12 @@ Status ReplicationManager::CreateReplica(SegmentInfo* info,
   LMP_RETURN_IF_ERROR(
       manager_->local_map(loc).Bind(info->id, info->size, runs));
   info->replicas.push_back(loc);
+  if (trace::TraceCollector* t = manager_->trace(); t != nullptr) {
+    t->Instant(trace::Category::kReplication, "replica_create", t->now(),
+               {trace::Arg("segment", info->id),
+                trace::Arg("host", static_cast<std::uint64_t>(host)),
+                trace::Arg("bytes", info->size)});
+  }
   return Status::Ok();
 }
 
@@ -95,9 +102,18 @@ Status ReplicationManager::ProtectBuffer(BufferId buffer) {
 
 StatusOr<int> ReplicationManager::RestoreRedundancy() {
   int created = 0;
+  // Compact into `alive` as we scan: freed segments (no longer in the map)
+  // and crash-lost ones can never regain redundancy, so carrying them
+  // forward would make every future restoration rescan dead ids.  On an
+  // error return protected_ is left untouched; the next successful pass
+  // prunes.
+  std::vector<SegmentId> alive;
+  alive.reserve(protected_.size());
   for (SegmentId seg : protected_) {
     SegmentInfo* info = manager_->mutable_segment_map().FindMutable(seg);
-    if (info == nullptr || info->state != SegmentState::kActive) continue;
+    if (info == nullptr || info->state == SegmentState::kLost) continue;
+    alive.push_back(seg);
+    if (info->state != SegmentState::kActive) continue;
     // Drop replica records that point at crashed hosts.
     std::erase_if(info->replicas, [&](const Location& rep) {
       return !rep.is_pool() &&
@@ -109,6 +125,14 @@ StatusOr<int> ReplicationManager::RestoreRedundancy() {
       LMP_RETURN_IF_ERROR(CreateReplica(info, host_or.value()));
       ++created;
     }
+  }
+  const std::size_t pruned = protected_.size() - alive.size();
+  protected_ = std::move(alive);
+  if (trace::TraceCollector* t = manager_->trace(); t != nullptr) {
+    t->Instant(trace::Category::kReplication, "restore_redundancy",
+               t->now(),
+               {trace::Arg("created", created),
+                trace::Arg("pruned", static_cast<std::uint64_t>(pruned))});
   }
   return created;
 }

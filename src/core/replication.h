@@ -32,12 +32,18 @@ class ReplicationManager {
 
   // Re-establishes the configured redundancy for every protected segment
   // (after crashes/promotions).  Returns the number of replicas created.
+  // Segments that were freed or lost since protection are pruned from the
+  // protected list here, so repeated restoration never rescans dead ids.
   StatusOr<int> RestoreRedundancy();
 
   // Storage overhead factor for this configuration (1 + factor).
   double CapacityOverhead() const { return 1.0 + replication_factor_; }
 
   int replication_factor() const { return replication_factor_; }
+
+  // Number of segments currently tracked for redundancy restoration
+  // (protected and not yet pruned as freed/lost).
+  std::size_t protected_count() const { return protected_.size(); }
 
  private:
   StatusOr<cluster::ServerId> PickReplicaHost(const SegmentInfo& info) const;

@@ -1,6 +1,7 @@
 #include "core/task_scheduler.h"
 
 #include "common/logging.h"
+#include "common/trace.h"
 
 namespace lmp::core {
 
@@ -63,10 +64,27 @@ void TaskScheduler::TryDispatch(cluster::ServerId server) {
   }
 }
 
+std::uint64_t TaskScheduler::TaskTrack(cluster::ServerId server,
+                                       int slot) const {
+  const auto slots = static_cast<std::uint64_t>(
+      servers_.empty() ? 0 : servers_[0].slot_busy.size());
+  return (std::uint64_t{1} << 40) +
+         static_cast<std::uint64_t>(server) * slots +
+         static_cast<std::uint64_t>(slot);
+}
+
 void TaskScheduler::RunOn(cluster::ServerId server, int slot,
                           Pending pending) {
   const auto target = static_cast<fabric::ServerIndex>(server);
   const double input_bytes = pending.task.input_bytes;
+  if (trace_ != nullptr) {
+    trace_->Begin(trace::Category::kTask, "task", TaskTrack(server, slot),
+                  sim_->now(),
+                  {trace::Arg("server", static_cast<std::uint64_t>(server)),
+                   trace::Arg("slot", slot),
+                   trace::Arg("input_bytes", input_bytes),
+                   trace::Arg("compute_ns", pending.task.compute_ns)});
+  }
   auto p = std::make_shared<Pending>(std::move(pending));
   // Phase 2 (after input arrives): occupy the slot for the compute time.
   auto continue_to_compute = [this, server, slot, p](SimTime) {
@@ -98,6 +116,10 @@ void TaskScheduler::Drain() {
 
 void TaskScheduler::Finish(cluster::ServerId server, int slot,
                            Pending& pending) {
+  if (trace_ != nullptr) {
+    trace_->End(trace::Category::kTask, "task", TaskTrack(server, slot),
+                sim_->now());
+  }
   servers_[server].slot_busy[slot] = false;
   ++stats_.completed;
   stats_.makespan = sim_->now() - first_submit_;

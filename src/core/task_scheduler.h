@@ -58,6 +58,12 @@ class TaskScheduler {
   int BusySlots(cluster::ServerId server) const;
   std::size_t QueuedTasks(cluster::ServerId server) const;
 
+  // Optional trace sink: each dispatched task becomes a span on a
+  // (server, slot) track, from dispatch through input streaming and
+  // compute to completion.  Null (the default) disables emission.
+  void set_trace(trace::TraceCollector* collector) { trace_ = collector; }
+  trace::TraceCollector* trace() const { return trace_; }
+
  private:
   struct Pending {
     ComputeTask task;
@@ -72,11 +78,16 @@ class TaskScheduler {
   void RunOn(cluster::ServerId server, int slot, Pending pending);
   void Finish(cluster::ServerId server, int slot, Pending& pending);
 
+  // Trace track id for a (server, slot) pair; offset keeps task tracks
+  // clear of flow-id tracks on the same timeline.
+  std::uint64_t TaskTrack(cluster::ServerId server, int slot) const;
+
   sim::FluidSimulator* sim_;
   fabric::Topology* topology_;
   std::vector<ServerState> servers_;
   SchedulerStats stats_;
   SimTime first_submit_ = -1;
+  trace::TraceCollector* trace_ = nullptr;
 };
 
 }  // namespace lmp::core

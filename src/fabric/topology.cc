@@ -2,6 +2,8 @@
 
 #include <string>
 
+#include "common/trace.h"
+
 namespace lmp::fabric {
 
 void Topology::AddServers(int num_servers) {
@@ -99,6 +101,22 @@ std::vector<sim::ResourceId> Topology::DmaRemotePath(ServerIndex src,
 
 std::vector<sim::ResourceId> Topology::DmaPoolPath(ServerIndex src) const {
   return {port(src), pool_port(static_cast<int>(src)), pool_dram()};
+}
+
+void Topology::SampleUtilization(trace::TraceCollector* collector) const {
+  if (collector == nullptr) return;
+  const SimTime now = sim_->now();
+  auto sample = [&](sim::ResourceId id) {
+    collector->Counter(trace::Category::kLink,
+                      "util." + sim_->ResourceName(id), now,
+                      sim_->Utilization(id));
+  };
+  for (std::size_t s = 0; s < server_port_.size(); ++s) {
+    sample(server_port_[s]);
+    sample(server_dram_[s]);
+  }
+  for (sim::ResourceId p : pool_port_) sample(p);
+  if (has_pool_dram_) sample(pool_dram_);
 }
 
 SimTime Topology::LocalLoadedLatency(ServerIndex s) const {

@@ -79,6 +79,12 @@ class Topology {
   SimTime RemoteLoadedLatency(ServerIndex src, ServerIndex dst) const;
   SimTime PoolLoadedLatency(ServerIndex src) const;
 
+  // Tracing ------------------------------------------------------------------
+  // Emits one counter sample per port/DRAM resource (utilization in [0, 1],
+  // named "util.<resource>") at the simulator's current time.  Call
+  // periodically from a harness to chart link load over a run.
+  void SampleUtilization(trace::TraceCollector* collector) const;
+
  private:
   Topology(sim::FluidSimulator* sim, TopologyKind kind, LinkProfile link,
            MachineProfile machine)

@@ -7,7 +7,6 @@ LruCache::LruCache(std::uint64_t capacity_pages) : capacity_(capacity_pages) {
 }
 
 bool LruCache::Access(PageId page, bool write) {
-  last_evicted_.reset();
   auto it = map_.find(page);
   if (it != map_.end()) {
     ++stats_.hits;
@@ -35,12 +34,12 @@ void LruCache::Invalidate(PageId page) {
 void LruCache::Clear() {
   lru_.clear();
   map_.clear();
-  last_evicted_.reset();
+  evicted_.clear();
 }
 
-std::optional<LruCache::Evicted> LruCache::TakeEvicted() {
-  auto out = last_evicted_;
-  last_evicted_.reset();
+std::vector<LruCache::Evicted> LruCache::TakeEvicted() {
+  std::vector<Evicted> out;
+  out.swap(evicted_);
   return out;
 }
 
@@ -49,7 +48,7 @@ void LruCache::EvictOne() {
   const Entry& victim = lru_.back();
   ++stats_.evictions;
   if (victim.dirty) ++stats_.dirty_evictions;
-  last_evicted_ = Evicted{victim.page, victim.dirty};
+  evicted_.push_back(Evicted{victim.page, victim.dirty});
   map_.erase(victim.page);
   lru_.pop_back();
 }

@@ -12,8 +12,8 @@
 
 #include <cstdint>
 #include <list>
-#include <optional>
 #include <unordered_map>
+#include <vector>
 
 #include "common/logging.h"
 
@@ -48,12 +48,15 @@ class LruCache {
   void Invalidate(PageId page);
   void Clear();
 
-  // The page evicted by the most recent Access(), if any; cleared by read.
+  // Evicted pages queue up (in eviction order) until drained here, so a
+  // multi-page SetCapacity() shrink loses nothing.  Callers that charge
+  // writeback traffic must drain after every Access()/SetCapacity().
   struct Evicted {
     PageId page;
     bool dirty;
   };
-  std::optional<Evicted> TakeEvicted();
+  std::vector<Evicted> TakeEvicted();
+  std::size_t pending_evictions() const { return evicted_.size(); }
 
   // Dynamically resize (shared-region flexing).  Shrinking evicts LRU pages.
   void SetCapacity(std::uint64_t capacity_pages);
@@ -75,7 +78,7 @@ class LruCache {
   std::list<Entry> lru_;  // front = most recent
   std::unordered_map<PageId, std::list<Entry>::iterator> map_;
   CacheStats stats_;
-  std::optional<Evicted> last_evicted_;
+  std::vector<Evicted> evicted_;  // pending, in eviction order
 };
 
 }  // namespace lmp::mem

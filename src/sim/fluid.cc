@@ -7,6 +7,7 @@
 
 #include "common/logging.h"
 #include "common/metrics.h"
+#include "common/trace.h"
 
 namespace lmp::sim {
 namespace {
@@ -48,6 +49,11 @@ BytesPerSec FluidSimulator::capacity(ResourceId id) const {
   return resources_[id].capacity;
 }
 
+const std::string& FluidSimulator::ResourceName(ResourceId id) const {
+  assert(id < resources_.size());
+  return resources_[id].name;
+}
+
 double FluidSimulator::Utilization(ResourceId id) const {
   assert(id < resources_.size());
   const Resource& r = resources_[id];
@@ -80,6 +86,9 @@ void FluidSimulator::FinishRecord(FlowId id) {
   if (it == records_.end()) return;
   it->second.done = true;
   it->second.end = now_;
+  if (trace_ != nullptr) {
+    trace_->End(trace::Category::kFlow, "flow", id, now_);
+  }
 }
 
 FlowId FluidSimulator::StartFlow(double bytes,
@@ -91,6 +100,12 @@ FlowId FluidSimulator::StartFlow(double bytes,
   LMP_CHECK(weight > 0) << "flow weight must be positive";
   for (ResourceId r : path) {
     LMP_CHECK(r < resources_.size()) << "flow references unknown resource";
+  }
+  if (trace_ != nullptr) {
+    trace_->Begin(trace::Category::kFlow, "flow", id, now_,
+                  {trace::Arg("bytes", bytes),
+                   trace::Arg("hops", static_cast<std::uint64_t>(path.size())),
+                   trace::Arg("weight", weight)});
   }
 
   if (bytes <= kByteEpsilon || path.empty()) {
@@ -246,15 +261,23 @@ void FluidSimulator::RecomputeAll() {
 }
 
 void FluidSimulator::SolveSeeded() {
+  const std::uint64_t touched_before = stats_.flows_touched;
   if (!solver_timing_) {
     SolveSeededImpl();
-    return;
+  } else {
+    const auto t0 = std::chrono::steady_clock::now();
+    SolveSeededImpl();
+    const auto t1 = std::chrono::steady_clock::now();
+    stats_.solve_ns += static_cast<std::uint64_t>(
+        std::chrono::duration_cast<std::chrono::nanoseconds>(t1 - t0)
+            .count());
   }
-  const auto t0 = std::chrono::steady_clock::now();
-  SolveSeededImpl();
-  const auto t1 = std::chrono::steady_clock::now();
-  stats_.solve_ns += static_cast<std::uint64_t>(
-      std::chrono::duration_cast<std::chrono::nanoseconds>(t1 - t0).count());
+  if (trace_ != nullptr) {
+    // Sim-time only: the number of flows re-rated, never the wall cost.
+    trace_->Instant(
+        trace::Category::kSolver, "rate_change", now_,
+        {trace::Arg("flows", stats_.flows_touched - touched_before)});
+  }
 }
 
 void FluidSimulator::SolveSeededImpl() {

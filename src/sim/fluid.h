@@ -36,6 +36,10 @@ namespace lmp {
 class MetricsRegistry;
 }
 
+namespace lmp::trace {
+class TraceCollector;
+}
+
 namespace lmp::sim {
 
 using ResourceId = std::uint32_t;
@@ -84,6 +88,9 @@ class FluidSimulator {
   Status SetCapacity(ResourceId id, BytesPerSec capacity);
 
   BytesPerSec capacity(ResourceId id) const;
+
+  // Name given to AddResource (for trace/diagnostic labels).
+  const std::string& ResourceName(ResourceId id) const;
 
   // Instantaneous utilization in [0, 1]: sum of allocated rates / capacity.
   double Utilization(ResourceId id) const;
@@ -165,6 +172,14 @@ class FluidSimulator {
   // Adds the stats accumulated since the previous export to `registry` as
   // counters fluid.solver.{recompute_calls,flows_touched,full_solves}.
   void ExportSolverMetrics(MetricsRegistry& registry);
+
+  // Tracing -----------------------------------------------------------------
+
+  // Optional event sink: flow begin/end spans (one track per flow id) and
+  // per-solve rate-change instants.  Null (the default) disables emission
+  // entirely; simulated results are identical either way.
+  void set_trace(trace::TraceCollector* collector) { trace_ = collector; }
+  trace::TraceCollector* trace() const { return trace_; }
 
  private:
   struct Resource {
@@ -265,6 +280,7 @@ class FluidSimulator {
   bool crosscheck_ = false;
   bool solver_timing_ = false;
   RecordRetention retention_ = RecordRetention::kKeepAll;
+  trace::TraceCollector* trace_ = nullptr;
   SolverStats stats_;
   SolverStats exported_;  // high-water mark of the last ExportSolverMetrics
 };

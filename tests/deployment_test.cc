@@ -219,5 +219,35 @@ TEST(CachePolicyAblationTest, LruStillWinsWhenVectorFits) {
             RunSum(nocache, GiB(8), 5).avg_bandwidth_gbps * 1.5);
 }
 
+TEST(CachePolicyAblationTest, DirtyEvictionsChargeWritebackTraffic) {
+  // Regression: dirty LRU evictions were counted in cache stats but never
+  // charged as fabric traffic, so a write workload that thrashes the cache
+  // ran exactly as fast as a read workload.  A 24 GiB sweep through the
+  // 8 GiB cache evicts (almost) every page; in write mode each of those
+  // evictions must flush 64 KiB back to the pool box.
+  VectorSumParams write_params;
+  write_params.vector_bytes = GiB(24);
+  write_params.repetitions = 3;
+  write_params.write = true;
+
+  PhysicalDeployment writer(LinkProfile::Link1(), true, CachePolicy::kLru);
+  auto w = writer.RunVectorSum(write_params);
+  ASSERT_TRUE(w.ok()) << w.status();
+  ASSERT_TRUE(w->feasible);
+  EXPECT_GT(w->writeback_bytes, 0u);
+  // Nearly every page beyond the cache's capacity gets written back: the
+  // sweep dirties all 24 GiB and the cache retains at most 8 GiB.
+  EXPECT_GE(w->writeback_bytes, GiB(24));
+
+  PhysicalDeployment reader(LinkProfile::Link1(), true, CachePolicy::kLru);
+  VectorSumParams read_params = write_params;
+  read_params.write = false;
+  auto r = reader.RunVectorSum(read_params);
+  ASSERT_TRUE(r.ok()) << r.status();
+  EXPECT_EQ(r->writeback_bytes, 0u);
+  // Writebacks contend for the fabric, so the write run must be slower.
+  EXPECT_GT(w->total_time_ns, r->total_time_ns);
+}
+
 }  // namespace
 }  // namespace lmp::baselines

@@ -302,6 +302,62 @@ TEST_F(ReplicationTest, MigrationToReplicaHostPromotesInPlace) {
   EXPECT_EQ(in, out);
 }
 
+// Regression: freeing a protected buffer used to leave its segment ids in
+// the replication manager's protected list forever — every later
+// RestoreRedundancy rescanned the stale ids, and repeated protect/free
+// cycles grew the list without bound.
+TEST_F(ReplicationTest, FreePrunesProtectedList) {
+  ReplicationManager repl(&manager_, 1);
+  auto buf = manager_.Allocate(KiB(32), 0);
+  ASSERT_TRUE(buf.ok());
+  ASSERT_TRUE(repl.ProtectBuffer(*buf).ok());
+  EXPECT_EQ(repl.protected_count(), 1u);
+
+  ASSERT_TRUE(manager_.Free(*buf).ok());
+  // Pruning is lazy (Free does not know about protection layers); the next
+  // restoration pass must both skip and drop the dead id.
+  auto created = repl.RestoreRedundancy();
+  ASSERT_TRUE(created.ok());
+  EXPECT_EQ(*created, 0);
+  EXPECT_EQ(repl.protected_count(), 0u);
+}
+
+TEST_F(ReplicationTest, ProtectedListStaysBoundedAcrossProtectFreeCycles) {
+  ReplicationManager repl(&manager_, 1);
+  for (int i = 0; i < 16; ++i) {
+    auto buf = manager_.Allocate(KiB(32), 0);
+    ASSERT_TRUE(buf.ok());
+    ASSERT_TRUE(repl.ProtectBuffer(*buf).ok());
+    ASSERT_TRUE(manager_.Free(*buf).ok());
+    auto created = repl.RestoreRedundancy();
+    ASSERT_TRUE(created.ok());
+  }
+  EXPECT_EQ(repl.protected_count(), 0u);
+}
+
+TEST_F(ReplicationTest, LostSegmentsArePrunedAfterRestore) {
+  // Unreplicated neighbor lost in a crash: RestoreRedundancy can never
+  // help it, so it must not stay on the protected list; the protected
+  // (replicated) segment fails over and gets a fresh replica.
+  ReplicationManager repl(&manager_, 1);
+  auto protected_buf = manager_.Allocate(KiB(32), 0);
+  ASSERT_TRUE(protected_buf.ok());
+  ASSERT_TRUE(repl.ProtectBuffer(*protected_buf).ok());
+  EXPECT_EQ(repl.protected_count(), 1u);
+
+  const auto lost = manager_.OnServerCrash(0);
+  EXPECT_TRUE(lost.empty());  // replica absorbed the crash
+  auto created = repl.RestoreRedundancy();
+  ASSERT_TRUE(created.ok());
+  EXPECT_EQ(*created, 1);
+  EXPECT_EQ(repl.protected_count(), 1u);  // still live, still protected
+
+  // Double-protecting must not duplicate the list entry.
+  const SegmentId seg = manager_.Describe(*protected_buf)->segments[0];
+  ASSERT_TRUE(repl.ProtectSegment(seg).ok());
+  EXPECT_EQ(repl.protected_count(), 1u);
+}
+
 // Regression: crash scrubs replica records pointing at the dead host, so
 // redundancy restoration reports the truth.
 TEST_F(ReplicationTest, CrashScrubsReplicaRecords) {

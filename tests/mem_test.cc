@@ -143,8 +143,8 @@ TEST(LruCacheTest, EvictsLeastRecentlyUsed) {
   EXPECT_FALSE(cache.Contains(2));
   EXPECT_TRUE(cache.Contains(3));
   auto evicted = cache.TakeEvicted();
-  ASSERT_TRUE(evicted.has_value());
-  EXPECT_EQ(evicted->page, 2u);
+  ASSERT_EQ(evicted.size(), 1u);
+  EXPECT_EQ(evicted[0].page, 2u);
 }
 
 TEST(LruCacheTest, DirtyEvictionTracked) {
@@ -153,8 +153,8 @@ TEST(LruCacheTest, DirtyEvictionTracked) {
   cache.Access(2);
   EXPECT_EQ(cache.stats().dirty_evictions, 1u);
   auto evicted = cache.TakeEvicted();
-  ASSERT_TRUE(evicted.has_value());
-  EXPECT_TRUE(evicted->dirty);
+  ASSERT_EQ(evicted.size(), 1u);
+  EXPECT_TRUE(evicted[0].dirty);
 }
 
 TEST(LruCacheTest, SequentialSweepLargerThanCacheNeverHits) {
@@ -190,6 +190,43 @@ TEST(LruCacheTest, ShrinkEvictsDownToCapacity) {
   EXPECT_EQ(cache.size(), 2u);
   EXPECT_TRUE(cache.Contains(3));  // most recent survive
   EXPECT_FALSE(cache.Contains(0));
+}
+
+TEST(LruCacheTest, MultiPageShrinkQueuesEveryEviction) {
+  // Regression: a SetCapacity() shrink that evicts N > 1 pages used to
+  // keep only the last victim in a single "last evicted" slot, so callers
+  // charging writeback traffic silently dropped N-1 evictions.
+  LruCache cache(5);
+  for (PageId p = 0; p < 5; ++p) cache.Access(p, /*write=*/true);
+  (void)cache.TakeEvicted();  // drain fill-phase noise (none expected)
+  cache.SetCapacity(2);
+  auto evicted = cache.TakeEvicted();
+  ASSERT_EQ(evicted.size(), 3u);  // pages 0, 1, 2 in LRU order
+  EXPECT_EQ(evicted[0].page, 0u);
+  EXPECT_EQ(evicted[1].page, 1u);
+  EXPECT_EQ(evicted[2].page, 2u);
+  for (const auto& e : evicted) EXPECT_TRUE(e.dirty);
+  EXPECT_EQ(cache.stats().evictions, 3u);
+  EXPECT_EQ(cache.stats().dirty_evictions, 3u);
+  // The queue is drained by TakeEvicted.
+  EXPECT_EQ(cache.pending_evictions(), 0u);
+  EXPECT_TRUE(cache.TakeEvicted().empty());
+}
+
+TEST(LruCacheTest, EvictionsSurviveSubsequentAccesses) {
+  // Regression: Access() used to clear the pending-eviction slot on entry,
+  // so an undrained eviction vanished at the next access.
+  LruCache cache(2);
+  cache.Access(1, /*write=*/true);
+  cache.Access(2);
+  cache.Access(3);  // evicts 1 (dirty)
+  cache.Access(4);  // evicts 2
+  auto evicted = cache.TakeEvicted();
+  ASSERT_EQ(evicted.size(), 2u);
+  EXPECT_EQ(evicted[0].page, 1u);
+  EXPECT_TRUE(evicted[0].dirty);
+  EXPECT_EQ(evicted[1].page, 2u);
+  EXPECT_FALSE(evicted[1].dirty);
 }
 
 TEST(LruCacheTest, ClearEmpties) {
