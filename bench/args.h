@@ -1,0 +1,59 @@
+// Shared command-line parsing for the bench binaries, so every bench
+// understands the same sidecar flags:
+//
+//   --trace-out=PATH    Chrome trace_event JSON of the run
+//   --metrics-out=PATH  JSON dump of every MetricsRegistry counter
+//   --seed=N            deterministic seed for benches that randomize
+//   --fault-plan=PATH   lmp::chaos fault plan replayed during the run
+//                       (see src/chaos/fault_plan.h for the syntax)
+//
+// Unknown arguments are ignored: benches with their own flags parse argv
+// themselves after (or before) Args::Parse.  Benches must print identical
+// stdout when none of these flags are given — status notes about written
+// files go to stderr.
+#pragma once
+
+#include <charconv>
+#include <cstdint>
+#include <string>
+#include <string_view>
+
+namespace lmp::bench {
+
+struct Args {
+  std::string trace_out;
+  std::string metrics_out;
+  std::string fault_plan;
+  std::uint64_t seed = 42;
+
+  bool has_fault_plan() const { return !fault_plan.empty(); }
+
+  static Args Parse(int argc, char** argv) {
+    Args args;
+    for (int i = 1; i < argc; ++i) {
+      const std::string_view arg = argv[i];
+      constexpr std::string_view kTrace = "--trace-out=";
+      constexpr std::string_view kMetrics = "--metrics-out=";
+      constexpr std::string_view kPlan = "--fault-plan=";
+      constexpr std::string_view kSeed = "--seed=";
+      if (arg.substr(0, kTrace.size()) == kTrace) {
+        args.trace_out = std::string(arg.substr(kTrace.size()));
+      } else if (arg.substr(0, kMetrics.size()) == kMetrics) {
+        args.metrics_out = std::string(arg.substr(kMetrics.size()));
+      } else if (arg.substr(0, kPlan.size()) == kPlan) {
+        args.fault_plan = std::string(arg.substr(kPlan.size()));
+      } else if (arg.substr(0, kSeed.size()) == kSeed) {
+        const std::string_view value = arg.substr(kSeed.size());
+        std::uint64_t seed = 0;
+        auto [ptr, ec] =
+            std::from_chars(value.data(), value.data() + value.size(), seed);
+        if (ec == std::errc() && ptr == value.data() + value.size()) {
+          args.seed = seed;
+        }
+      }
+    }
+    return args;
+  }
+};
+
+}  // namespace lmp::bench

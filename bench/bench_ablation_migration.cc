@@ -14,6 +14,7 @@
 #include "fabric/topology.h"
 #include "sim/fluid.h"
 #include "sim/stream.h"
+#include "args.h"
 #include "trace_sidecar.h"
 
 namespace {
@@ -103,7 +104,7 @@ EpochSeries RunWorkload(bool migration_on,
 
     if (migration_on) {
       std::vector<core::MigrationRecord> records;
-      engine.RunOnce(sim.now(), &records);
+      LMP_CHECK(engine.RunOnce(sim.now(), &records).ok());
       series.migrations += static_cast<int>(records.size());
       // Charge the copies: DMA flows from old to new home.
       std::vector<std::unique_ptr<sim::SpanStream>> copies;
@@ -133,7 +134,8 @@ EpochSeries RunWorkload(bool migration_on,
 }  // namespace
 
 int main(int argc, char** argv) {
-  lmp::bench::TraceSidecar sidecar(argc, argv);
+  const lmp::bench::Args args = lmp::bench::Args::Parse(argc, argv);
+  lmp::bench::TraceSidecar sidecar(args);
   std::printf(
       "== Migration ablation: Zipf(0.9) reads from server 0, Link1 ==\n");
   const EpochSeries off = RunWorkload(false, sidecar.collector());

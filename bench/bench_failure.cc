@@ -3,7 +3,10 @@
 // recovery traffic/time (rebuild transfers priced on the simulated fabric
 // at Link0 speed).
 #include <cstdio>
+#include <vector>
 
+#include "args.h"
+#include "chaos/fault_plan.h"
 #include "common/table.h"
 #include "common/trace.h"
 #include "core/erasure.h"
@@ -47,7 +50,8 @@ SimTime PriceRecovery(Bytes bytes) {
   return r.end - r.start;
 }
 
-FailureOutcome RunReplication(trace::TraceCollector* trace = nullptr) {
+FailureOutcome RunReplication(const std::vector<cluster::ServerId>& victims,
+                              trace::TraceCollector* trace = nullptr) {
   cluster::Cluster cluster(Config());
   core::PoolManager manager(&cluster);
   core::ReplicationManager repl(&manager, 1);
@@ -70,8 +74,13 @@ FailureOutcome RunReplication(trace::TraceCollector* trace = nullptr) {
   FailureOutcome out;
   out.capacity_overhead = repl.CapacityOverhead();
   out.protected_bytes = kSegments * kSegmentSize;
-  const auto lost = manager.OnServerCrash(0);
-  out.lost_bytes = static_cast<Bytes>(lost.size()) * kSegmentSize;
+  Bytes lost_segments = 0;
+  for (const cluster::ServerId victim : victims) {
+    const auto lost = manager.OnServerCrash(victim);
+    LMP_CHECK(lost.ok());
+    lost_segments += lost->size();
+  }
+  out.lost_bytes = lost_segments * kSegmentSize;
   // Failover is instant (replica already holds the data); the recovery
   // traffic is re-establishing redundancy for the failed-over segments.
   auto created = repl.RestoreRedundancy();
@@ -82,6 +91,7 @@ FailureOutcome RunReplication(trace::TraceCollector* trace = nullptr) {
 }
 
 FailureOutcome RunErasure(int group_size,
+                          const std::vector<cluster::ServerId>& victims,
                           trace::TraceCollector* trace = nullptr) {
   cluster::Cluster cluster(Config());
   core::PoolManager manager(&cluster);
@@ -103,24 +113,44 @@ FailureOutcome RunErasure(int group_size,
   FailureOutcome out;
   out.capacity_overhead = erasure.CapacityOverhead();
   out.protected_bytes = kSegments * kSegmentSize;
-  const auto lost = manager.OnServerCrash(0);
+  Bytes lost_segments = 0;
+  for (const cluster::ServerId victim : victims) {
+    const auto lost = manager.OnServerCrash(victim);
+    LMP_CHECK(lost.ok());
+    lost_segments += lost->size();
+  }
   auto recovered = erasure.RecoverAllLost();
   LMP_CHECK(recovered.ok());
   // Rebuilding one segment reads group_size survivors' worth of data.
   out.recovery_traffic = static_cast<Bytes>(*recovered) * kSegmentSize *
                          static_cast<Bytes>(group_size);
   out.recovery_time = PriceRecovery(out.recovery_traffic);
-  out.lost_bytes =
-      static_cast<Bytes>(lost.size() - *recovered) * kSegmentSize;
+  out.lost_bytes = (lost_segments - static_cast<Bytes>(*recovered)) *
+                   kSegmentSize;
   return out;
 }
 
 }  // namespace
 
 int main(int argc, char** argv) {
-  lmp::bench::TraceSidecar sidecar(argc, argv);
+  const lmp::bench::Args args = lmp::bench::Args::Parse(argc, argv);
+  lmp::bench::TraceSidecar sidecar(args);
+  // Without --fault-plan= the victim is server 0 (the historical default,
+  // stdout byte-identical); with a plan, the crash/rack events pick them.
+  std::vector<cluster::ServerId> victims{0};
+  if (args.has_fault_plan()) {
+    auto plan = chaos::FaultPlan::ParseFile(args.fault_plan);
+    LMP_CHECK(plan.ok()) << plan.status().ToString();
+    if (!plan->CrashVictims().empty()) victims = plan->CrashVictims();
+  }
+  std::string who = "server";
+  if (victims.size() > 1) who += "s";
+  for (std::size_t i = 0; i < victims.size(); ++i) {
+    who += (i == 0 ? " " : "+") + std::to_string(victims[i]);
+  }
   std::printf(
-      "== Failure handling: 8 x 2 GiB segments, crash of server 0 ==\n");
+      "== Failure handling: 8 x 2 GiB segments, crash of %s ==\n",
+      who.c_str());
   TablePrinter table({"Scheme", "Capacity overhead", "Data lost",
                       "Recovery traffic", "Recovery time"});
   auto add = [&](const char* name, const FailureOutcome& out) {
@@ -131,9 +161,10 @@ int main(int argc, char** argv) {
                   TablePrinter::Num(out.recovery_time / kNsPerMs, 0) +
                       " ms"});
   };
-  add("Replication (1 extra copy)", RunReplication(sidecar.collector()));
-  add("XOR erasure (k=2)", RunErasure(2, sidecar.collector()));
-  add("XOR erasure (k=3)", RunErasure(3, sidecar.collector()));
+  add("Replication (1 extra copy)",
+      RunReplication(victims, sidecar.collector()));
+  add("XOR erasure (k=2)", RunErasure(2, victims, sidecar.collector()));
+  add("XOR erasure (k=3)", RunErasure(3, victims, sidecar.collector()));
   table.Print();
   std::printf(
       "\nReplication recovers instantly (failover) but costs 2x capacity;\n"

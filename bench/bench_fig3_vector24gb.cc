@@ -1,10 +1,12 @@
 // Reproduces Figure 3 of the paper: 24 GiB vector-sum bandwidth on
 // Logical vs Physical cache vs Physical no-cache, over Link0 and Link1.
 #include "figure_harness.h"
+#include "args.h"
 #include "trace_sidecar.h"
 
 int main(int argc, char** argv) {
-  lmp::bench::TraceSidecar sidecar(argc, argv);
+  const lmp::bench::Args args = lmp::bench::Args::Parse(argc, argv);
+  lmp::bench::TraceSidecar sidecar(args);
   const lmp::Bytes size = lmp::GiB(24);
   auto rows = lmp::bench::RunFigure(size, 10, sidecar.collector());
   lmp::bench::PrintFigure("Figure 3", size, rows);

@@ -1,10 +1,12 @@
 // Reproduces Figure 5 of the paper: 96 GiB vector-sum bandwidth on
 // Logical vs Physical cache vs Physical no-cache, over Link0 and Link1.
 #include "figure_harness.h"
+#include "args.h"
 #include "trace_sidecar.h"
 
 int main(int argc, char** argv) {
-  lmp::bench::TraceSidecar sidecar(argc, argv);
+  const lmp::bench::Args args = lmp::bench::Args::Parse(argc, argv);
+  lmp::bench::TraceSidecar sidecar(args);
   const lmp::Bytes size = lmp::GiB(96);
   auto rows = lmp::bench::RunFigure(size, 10, sidecar.collector());
   lmp::bench::PrintFigure("Figure 5", size, rows);

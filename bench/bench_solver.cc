@@ -21,6 +21,7 @@
 #include "common/trace.h"
 #include "common/units.h"
 #include "sim/fluid.h"
+#include "args.h"
 #include "trace_sidecar.h"
 
 namespace {
@@ -157,7 +158,8 @@ void RunSweep(double remote_fraction,
 }
 
 int main(int argc, char** argv) {
-  lmp::bench::TraceSidecar sidecar(argc, argv);
+  const lmp::bench::Args args = lmp::bench::Args::Parse(argc, argv);
+  lmp::bench::TraceSidecar sidecar(args);
   // Local-dominant churn (the paper's shipped/local pattern): flows cluster
   // per server, so the incremental solver re-rates ~1/4 of the flows.
   RunSweep(/*remote_fraction=*/0.0, sidecar.collector());

@@ -13,8 +13,8 @@
 
 #include <cstdio>
 #include <string>
-#include <string_view>
 
+#include "args.h"
 #include "common/metrics.h"
 #include "common/trace.h"
 
@@ -22,18 +22,12 @@ namespace lmp::bench {
 
 class TraceSidecar {
  public:
-  TraceSidecar(int argc, char** argv) {
-    for (int i = 1; i < argc; ++i) {
-      const std::string_view arg = argv[i];
-      constexpr std::string_view kTrace = "--trace-out=";
-      constexpr std::string_view kMetrics = "--metrics-out=";
-      if (arg.substr(0, kTrace.size()) == kTrace) {
-        trace_path_ = std::string(arg.substr(kTrace.size()));
-      } else if (arg.substr(0, kMetrics.size()) == kMetrics) {
-        metrics_path_ = std::string(arg.substr(kMetrics.size()));
-      }
-    }
-  }
+  explicit TraceSidecar(const Args& args)
+      : trace_path_(args.trace_out), metrics_path_(args.metrics_out) {}
+
+  // Legacy form; new benches parse Args once and share it.
+  TraceSidecar(int argc, char** argv)
+      : TraceSidecar(Args::Parse(argc, argv)) {}
 
   // Null when --trace-out was not given: emitters skip all work.
   trace::TraceCollector* collector() {

@@ -66,7 +66,8 @@ int main() {
   // --- crash! -----------------------------------------------------------------
   std::printf("\ncrashing server 0...\n");
   const auto lost = manager.OnServerCrash(0);
-  std::printf("%zu segment(s) lost outright\n", lost.size());
+  LMP_CHECK(lost.ok());
+  std::printf("%zu segment(s) lost outright\n", lost->size());
 
   // Replicated buffer failed over transparently.
   std::vector<std::byte> readback(lmp::KiB(256));

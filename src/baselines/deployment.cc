@@ -1,0 +1,22 @@
+#include "baselines/deployment.h"
+
+namespace lmp::baselines {
+
+StatusOr<WorkloadResult> MemoryDeployment::RunWorkload(
+    const WorkloadSpec& spec) {
+  if (!spec.faults.empty() || spec.replication_factor > 0) {
+    return UnimplementedError(std::string(name()) +
+                              " has no fault-injection support");
+  }
+  WorkloadResult out;
+  LMP_ASSIGN_OR_RETURN(out.vector, RunVectorSum(spec.vector));
+  return out;
+}
+
+Status MemoryDeployment::ApplyFault(const chaos::FaultEvent& event) {
+  (void)event;
+  return UnimplementedError(std::string(name()) +
+                            " has no fault-injection support");
+}
+
+}  // namespace lmp::baselines

@@ -12,6 +12,8 @@
 #include <string_view>
 #include <vector>
 
+#include "chaos/fault_injector.h"
+#include "chaos/fault_plan.h"
 #include "common/status.h"
 #include "common/units.h"
 #include "fabric/link.h"
@@ -48,6 +50,35 @@ struct VectorSumResult {
   SimTime total_time_ns = 0;
 };
 
+// The unified workload description: the vector-sum microbenchmark plus an
+// optional fault schedule replayed (in sim time) while it runs.  This is
+// the one entry point benches use for both healthy and chaos runs, so the
+// logical/physical comparison is apples-to-apples.
+struct WorkloadSpec {
+  VectorSumParams vector;
+  // Failures injected while the workload runs (empty = healthy run).
+  chaos::FaultPlan faults;
+  chaos::InjectorOptions injector;
+  // > 0: protect the workload buffer with this many extra replicas before
+  // faults fire.  Only the logical deployment has a replication layer.
+  int replication_factor = 0;
+  // Run the simulator to idle after the last repetition so in-flight
+  // recovery transfers (and any plan events past the workload) complete —
+  // time-to-redundancy needs the recovery tail, not just the workload
+  // window.  total_time_ns still covers only the repetitions.
+  bool drain_recovery = true;
+};
+
+struct WorkloadResult {
+  VectorSumResult vector;
+  // Recovery SLOs measured by the injector (all zeros for healthy runs).
+  chaos::ChaosReport chaos;
+  // Repetitions skipped because the buffer had unrecoverable lost
+  // segments, and repetitions that started on a degraded fabric.
+  int reps_unavailable = 0;
+  int reps_degraded = 0;
+};
+
 class MemoryDeployment {
  public:
   virtual ~MemoryDeployment() = default;
@@ -59,6 +90,16 @@ class MemoryDeployment {
   // feasible=false rather than an error: infeasibility IS the result.
   virtual StatusOr<VectorSumResult> RunVectorSum(
       const VectorSumParams& params) = 0;
+
+  // Unified entry point: run `spec.vector` while replaying `spec.faults`.
+  // The base implementation handles the healthy case by dispatching to
+  // RunVectorSum and returns kUnimplemented when a fault plan or
+  // replication is requested; deployments with a failure model override.
+  virtual StatusOr<WorkloadResult> RunWorkload(const WorkloadSpec& spec);
+
+  // Applies one fault event immediately (outside any plan).  The base
+  // implementation returns kUnimplemented.
+  virtual Status ApplyFault(const chaos::FaultEvent& event);
 };
 
 // Contiguous per-core slices of [0, total): core i gets

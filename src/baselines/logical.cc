@@ -123,6 +123,174 @@ StatusOr<VectorSumResult> LogicalDeployment::RunVectorSum(
   return result;
 }
 
+Status LogicalDeployment::EnableReplication(int factor) {
+  if (factor <= 0) return InvalidArgumentError("replication factor must be > 0");
+  if (replication_ != nullptr) {
+    if (replication_->replication_factor() != factor) {
+      return FailedPreconditionError("replication already enabled at factor " +
+                                     std::to_string(
+                                         replication_->replication_factor()));
+    }
+    return Status::Ok();
+  }
+  if (injector_ != nullptr) {
+    return FailedPreconditionError(
+        "enable replication before the injector binds (its recovery traffic "
+        "would not be priced)");
+  }
+  replication_ = std::make_unique<core::ReplicationManager>(manager_.get(),
+                                                            factor);
+  return Status::Ok();
+}
+
+chaos::FaultInjector& LogicalDeployment::injector(
+    const chaos::InjectorOptions& options) {
+  if (injector_ == nullptr) {
+    chaos::FaultInjector::Bindings b;
+    b.sim = &sim_;
+    b.topology = topology_.get();
+    b.manager = manager_.get();
+    b.replication = replication_.get();
+    injector_ = std::make_unique<chaos::FaultInjector>(b, options);
+  }
+  return *injector_;
+}
+
+Status LogicalDeployment::ApplyFault(const chaos::FaultEvent& event) {
+  return injector().Apply(event);
+}
+
+StatusOr<WorkloadResult> LogicalDeployment::RunWorkload(
+    const WorkloadSpec& spec) {
+  WorkloadResult out;
+  const VectorSumParams& params = spec.vector;
+
+  if (spec.replication_factor > 0) {
+    LMP_RETURN_IF_ERROR(EnableReplication(spec.replication_factor));
+  }
+
+  auto buffer_or = manager_->Allocate(
+      params.vector_bytes, static_cast<cluster::ServerId>(params.runner));
+  if (!buffer_or.ok()) {
+    if (IsOutOfMemory(buffer_or.status())) {
+      out.vector.feasible = false;
+      out.vector.infeasible_reason = buffer_or.status().message();
+      return out;
+    }
+    return buffer_or.status();
+  }
+  const core::BufferId buffer = buffer_or.value();
+
+  if (replication_ != nullptr) {
+    LMP_RETURN_IF_ERROR(replication_->ProtectBuffer(buffer));
+  }
+  chaos::FaultInjector& inj = injector(spec.injector);
+  LMP_RETURN_IF_ERROR(inj.WatchBuffer(buffer));
+  if (!spec.faults.empty()) {
+    LMP_RETURN_IF_ERROR(inj.SchedulePlan(spec.faults));
+  }
+
+  LMP_ASSIGN_OR_RETURN(
+      out.vector.local_fraction,
+      manager_->LocalFraction(buffer,
+                              static_cast<cluster::ServerId>(params.runner)));
+
+  const auto runner = static_cast<fabric::ServerIndex>(params.runner);
+  const std::vector<CoreSlice> slices =
+      SliceForCores(params.vector_bytes, params.cores);
+  auto path_for = [&](const core::LocatedSpan& ls, int c) {
+    LMP_CHECK(!ls.location.is_pool());
+    return ls.location.server == runner
+               ? topology_->LocalPath(runner, c)
+               : topology_->RemotePath(runner, c, ls.location.server);
+  };
+
+  // Unlike RunVectorSum, span lists are rebuilt EVERY repetition: a crash
+  // during rep N fails segments over to new homes, and rep N+1 must read
+  // them from where they live now.
+  auto spans_for_rep =
+      [&](std::vector<std::vector<sim::Span>>* per_core) -> Status {
+    per_core->assign(params.cores, {});
+    if (!params.balanced_slices) {
+      for (int c = 0; c < params.cores; ++c) {
+        const CoreSlice& slice = slices[c];
+        if (slice.length == 0) continue;
+        LMP_ASSIGN_OR_RETURN(
+            auto located, manager_->Spans(buffer, slice.offset, slice.length));
+        for (const core::LocatedSpan& ls : located) {
+          (*per_core)[c].push_back(
+              sim::Span{static_cast<double>(ls.bytes), path_for(ls, c)});
+        }
+      }
+    } else {
+      LMP_ASSIGN_OR_RETURN(auto located,
+                           manager_->Spans(buffer, 0, params.vector_bytes));
+      for (const core::LocatedSpan& ls : located) {
+        const double share = static_cast<double>(ls.bytes) / params.cores;
+        for (int c = 0; c < params.cores; ++c) {
+          (*per_core)[c].push_back(sim::Span{share, path_for(ls, c)});
+        }
+      }
+    }
+    return Status::Ok();
+  };
+
+  auto fabric_degraded = [&] {
+    for (int s = 0; s < topology_->num_servers(); ++s) {
+      if (topology_->link_degraded(static_cast<fabric::ServerIndex>(s))) {
+        return true;
+      }
+    }
+    return false;
+  };
+
+  const SimTime start = sim_.now();
+  int reps_served = 0;
+  double first_rep = 0, last_rep = 0;
+  std::vector<std::vector<sim::Span>> per_core;
+  for (int rep = 0; rep < params.repetitions; ++rep) {
+    const Status span_status = spans_for_rep(&per_core);
+    if (IsDataLoss(span_status)) {
+      // Part of the buffer is gone and nothing can rebuild it; this
+      // repetition cannot run.  Sim time does not advance, so the
+      // unavailability is charged to the open window, not the workload.
+      ++out.reps_unavailable;
+      continue;
+    }
+    LMP_RETURN_IF_ERROR(span_status);
+    if (fabric_degraded()) ++out.reps_degraded;
+    std::vector<std::unique_ptr<sim::SpanStream>> streams;
+    for (int c = 0; c < params.cores; ++c) {
+      if (per_core[c].empty()) continue;
+      streams.push_back(
+          std::make_unique<sim::SpanStream>(&sim_, per_core[c]));
+    }
+    const sim::ParallelRunResult rep_result =
+        sim::RunStreams(&sim_, std::move(streams));
+    if (reps_served == 0) first_rep = rep_result.gbps;
+    last_rep = rep_result.gbps;
+    ++reps_served;
+  }
+
+  const SimTime elapsed = sim_.now() - start;
+  out.vector.total_time_ns = elapsed;
+  if (elapsed > 0) {
+    out.vector.avg_bandwidth_gbps =
+        ToGBps(static_cast<double>(params.vector_bytes) * reps_served,
+               elapsed);
+  }
+  out.vector.first_rep_gbps = first_rep;
+  out.vector.steady_rep_gbps = last_rep;
+
+  // Let outstanding recovery transfers (and any plan tail) finish so
+  // time-to-redundancy reflects actual completion, then snapshot SLOs.
+  if (spec.drain_recovery) sim_.Run();
+  LMP_RETURN_IF_ERROR(inj.ApplyError());
+  out.chaos = inj.report();
+  LMP_RETURN_IF_ERROR(manager_->Free(buffer));
+  return out;
+}
+
 StatusOr<VectorSumResult> LogicalDeployment::RunDistributedSum(
     const VectorSumParams& params) {
   VectorSumResult result;

@@ -14,8 +14,10 @@
 #include <memory>
 
 #include "baselines/deployment.h"
+#include "chaos/fault_injector.h"
 #include "cluster/cluster.h"
 #include "core/pool_manager.h"
+#include "core/replication.h"
 #include "fabric/topology.h"
 #include "sim/fluid.h"
 
@@ -38,10 +40,25 @@ class LogicalDeployment : public MemoryDeployment {
   // §4.4 near-memory computing: every server sums its local part.
   StatusOr<VectorSumResult> RunDistributedSum(const VectorSumParams& params);
 
+  // Chaos-aware run: spans are recomputed every repetition (crash failover
+  // moves segment homes mid-run), the fault plan replays on sim time, and
+  // the injector's recovery SLOs come back in the result.
+  StatusOr<WorkloadResult> RunWorkload(const WorkloadSpec& spec) override;
+  Status ApplyFault(const chaos::FaultEvent& event) override;
+
+  // Attaches a replication layer (factor = extra copies per segment).
+  // Call before applying faults: the injector binds at first use and a
+  // later-attached layer would not have its recovery traffic priced.
+  Status EnableReplication(int factor);
+
+  // Lazily-created injector bound to this deployment's stack.
+  chaos::FaultInjector& injector(const chaos::InjectorOptions& options = {});
+
   core::PoolManager& manager() { return *manager_; }
   cluster::Cluster& cluster() { return *cluster_; }
   sim::FluidSimulator& simulator() { return sim_; }
   fabric::Topology& topology() { return *topology_; }
+  core::ReplicationManager* replication() { return replication_.get(); }
 
  private:
   fabric::LinkProfile link_;
@@ -49,6 +66,8 @@ class LogicalDeployment : public MemoryDeployment {
   std::unique_ptr<fabric::Topology> topology_;
   std::unique_ptr<cluster::Cluster> cluster_;
   std::unique_ptr<core::PoolManager> manager_;
+  std::unique_ptr<core::ReplicationManager> replication_;
+  std::unique_ptr<chaos::FaultInjector> injector_;
 };
 
 }  // namespace lmp::baselines

@@ -14,6 +14,43 @@ constexpr Bytes kLruPage = KiB(64);
 
 }  // namespace
 
+chaos::FaultInjector& PhysicalDeployment::injector(
+    const chaos::InjectorOptions& options) {
+  if (injector_ == nullptr) {
+    chaos::FaultInjector::Bindings b;
+    b.sim = &sim_;
+    b.topology = topology_.get();
+    b.cluster = cluster_.get();
+    injector_ = std::make_unique<chaos::FaultInjector>(b, options);
+  }
+  return *injector_;
+}
+
+Status PhysicalDeployment::ApplyFault(const chaos::FaultEvent& event) {
+  return injector().Apply(event);
+}
+
+StatusOr<WorkloadResult> PhysicalDeployment::RunWorkload(
+    const WorkloadSpec& spec) {
+  if (spec.replication_factor > 0) {
+    return FailedPreconditionError(
+        "physical pool has no replication layer to protect buffers with");
+  }
+  WorkloadResult out;
+  chaos::FaultInjector& inj = injector(spec.injector);
+  if (!spec.faults.empty()) {
+    LMP_RETURN_IF_ERROR(inj.SchedulePlan(spec.faults));
+  }
+  // The fault timers fire inside RunVectorSum's stream loops; pooled data
+  // survives server crashes by construction, so no span recomputation is
+  // needed between repetitions.
+  LMP_ASSIGN_OR_RETURN(out.vector, RunVectorSum(spec.vector));
+  if (spec.drain_recovery) sim_.Run();
+  LMP_RETURN_IF_ERROR(inj.ApplyError());
+  out.chaos = inj.report();
+  return out;
+}
+
 PhysicalDeployment::PhysicalDeployment(const fabric::LinkProfile& link,
                                        bool use_cache, CachePolicy policy,
                                        const cluster::ClusterConfig& config,

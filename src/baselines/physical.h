@@ -47,6 +47,17 @@ class PhysicalDeployment : public MemoryDeployment {
   StatusOr<VectorSumResult> RunVectorSum(
       const VectorSumParams& params) override;
 
+  // Chaos-aware run.  The physical pool's failure story is the paper's §5
+  // contrast: a server crash loses no pooled data (it lives on the pool
+  // box), but every pool access rides the pool link, so degrading it
+  // throttles the whole workload.  No replication layer exists here.
+  StatusOr<WorkloadResult> RunWorkload(const WorkloadSpec& spec) override;
+  Status ApplyFault(const chaos::FaultEvent& event) override;
+
+  // Lazily-created injector bound to sim/topology/cluster (no manager:
+  // crashes only mark cluster state).
+  chaos::FaultInjector& injector(const chaos::InjectorOptions& options = {});
+
   sim::FluidSimulator& simulator() { return sim_; }
   fabric::Topology& topology() { return *topology_; }
   cluster::Cluster& cluster() { return *cluster_; }
@@ -62,6 +73,7 @@ class PhysicalDeployment : public MemoryDeployment {
   sim::FluidSimulator sim_;
   std::unique_ptr<fabric::Topology> topology_;
   std::unique_ptr<cluster::Cluster> cluster_;
+  std::unique_ptr<chaos::FaultInjector> injector_;
 };
 
 }  // namespace lmp::baselines

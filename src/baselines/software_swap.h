@@ -46,6 +46,11 @@ class SoftwareSwapDeployment : public MemoryDeployment {
   StatusOr<VectorSumResult> RunVectorSum(
       const VectorSumParams& params) override;
 
+  // Link faults only: the swap baseline has no pooled data to lose, but a
+  // degraded fabric slows its paging traffic like everyone else's.  Crash
+  // events return kUnimplemented.
+  Status ApplyFault(const chaos::FaultEvent& event) override;
+
   // Average latency of one 64-byte dependent read, resident vs swapped.
   SimTime ResidentReadLatency() const;
   SimTime SwappedReadLatency() const;

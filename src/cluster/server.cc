@@ -32,7 +32,14 @@ Status Server::ResizeShared(Bytes new_shared_bytes) {
   return Status::Ok();
 }
 
-void Server::Recover() {
+Status Server::Crash() {
+  if (crashed_) return FailedPreconditionError("server already crashed");
+  crashed_ = true;
+  return Status::Ok();
+}
+
+Status Server::Recover() {
+  if (!crashed_) return FailedPreconditionError("server is not crashed");
   // A recovered host rejoins with its shared region empty: all frames are
   // re-usable but prior contents are gone (the replication / erasure layer
   // is responsible for restoring data).
@@ -42,6 +49,7 @@ void Server::Recover() {
   if (backing_ != nullptr) {
     backing_ = std::make_unique<mem::BackingStore>(frames, frame_size_);
   }
+  return Status::Ok();
 }
 
 PoolDevice::PoolDevice(Bytes capacity, Bytes frame_size, bool with_backing)
@@ -51,6 +59,24 @@ PoolDevice::PoolDevice(Bytes capacity, Bytes frame_size, bool with_backing)
     backing_ =
         std::make_unique<mem::BackingStore>(alloc_.num_frames(), frame_size);
   }
+}
+
+Status PoolDevice::Crash() {
+  if (crashed_) return FailedPreconditionError("pool device already crashed");
+  crashed_ = true;
+  return Status::Ok();
+}
+
+Status PoolDevice::Recover() {
+  if (!crashed_) return FailedPreconditionError("pool device is not crashed");
+  // Like Server::Recover, the device rejoins empty.
+  crashed_ = false;
+  const std::uint64_t frames = alloc_.num_frames();
+  alloc_ = mem::FrameAllocator(frames, frame_size_);
+  if (backing_ != nullptr) {
+    backing_ = std::make_unique<mem::BackingStore>(frames, frame_size_);
+  }
+  return Status::Ok();
 }
 
 }  // namespace lmp::cluster

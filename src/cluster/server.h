@@ -52,10 +52,12 @@ class Server {
   // frames to be free (the sizing policy must migrate data out first).
   Status ResizeShared(Bytes new_shared_bytes);
 
-  // Crash / recovery (challenge 5, "Failure domains").
+  // Crash / recovery (challenge 5, "Failure domains").  Both report state
+  // errors instead of silently re-applying: a double crash (or a recovery
+  // of a live host) is a fault-plan bug the chaos layer wants surfaced.
   bool crashed() const { return crashed_; }
-  void Crash() { crashed_ = true; }
-  void Recover();
+  Status Crash();
+  Status Recover();
 
  private:
   ServerId id_;
@@ -82,8 +84,8 @@ class PoolDevice {
   }
 
   bool crashed() const { return crashed_; }
-  void Crash() { crashed_ = true; }
-  void Recover() { crashed_ = false; }
+  Status Crash();
+  Status Recover();
 
  private:
   Bytes frame_size_;

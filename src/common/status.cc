@@ -63,5 +63,9 @@ bool IsNotFound(const Status& s) { return s.code() == StatusCode::kNotFound; }
 bool IsUnavailable(const Status& s) {
   return s.code() == StatusCode::kUnavailable;
 }
+bool IsFailedPrecondition(const Status& s) {
+  return s.code() == StatusCode::kFailedPrecondition;
+}
+bool IsDataLoss(const Status& s) { return s.code() == StatusCode::kDataLoss; }
 
 }  // namespace lmp

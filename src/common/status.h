@@ -73,6 +73,8 @@ Status UnimplementedError(std::string message);
 bool IsOutOfMemory(const Status& s);
 bool IsNotFound(const Status& s);
 bool IsUnavailable(const Status& s);
+bool IsFailedPrecondition(const Status& s);
+bool IsDataLoss(const Status& s);
 
 // StatusOr<T>: either an OK status with a value, or a non-OK status.
 template <typename T>

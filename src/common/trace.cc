@@ -112,6 +112,8 @@ std::string_view CategoryName(Category cat) {
       return "link";
     case Category::kHarness:
       return "harness";
+    case Category::kChaos:
+      return "chaos";
   }
   return "unknown";
 }

@@ -43,6 +43,7 @@ enum class Category : std::uint8_t {
   kTask,         // shipped-compute task execution spans
   kLink,         // link/DRAM utilization counter samples
   kHarness,      // bench-harness markers (per-deployment runs)
+  kChaos,        // injected faults and chaos-driven recovery transfers
 };
 
 std::string_view CategoryName(Category cat);

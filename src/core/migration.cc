@@ -12,7 +12,7 @@ MigrationEngine::MigrationEngine(PoolManager* manager, MigrationConfig config)
   LMP_CHECK(manager != nullptr);
 }
 
-MigrationRoundStats MigrationEngine::RunOnce(
+StatusOr<MigrationRoundStats> MigrationEngine::RunOnce(
     SimTime now, std::vector<MigrationRecord>* records) {
   MigrationRoundStats stats;
 
@@ -47,8 +47,14 @@ MigrationRoundStats MigrationEngine::RunOnce(
     if (stats.migrated >= config_.max_migrations_per_round) break;
     auto rec_or = manager_->MigrateSegment(c.seg, c.dst);
     if (!rec_or.ok()) {
-      if (IsOutOfMemory(rec_or.status())) ++stats.skipped_capacity;
-      continue;
+      if (IsOutOfMemory(rec_or.status())) {
+        ++stats.skipped_capacity;
+        continue;
+      }
+      // A segment that started migrating/replicating between scoring and
+      // execution is skipped this round, not a failure.
+      if (IsFailedPrecondition(rec_or.status())) continue;
+      return rec_or.status();
     }
     ++stats.migrated;
     stats.bytes_moved += rec_or->bytes;

@@ -41,8 +41,10 @@ class MigrationEngine {
 
   // One balancing round at simulated time `now`.  Appends executed
   // migrations to `records` (optional) and returns round statistics.
-  MigrationRoundStats RunOnce(SimTime now,
-                              std::vector<MigrationRecord>* records = nullptr);
+  // Capacity misses and busy segments are counted, not errors; anything
+  // else (a corrupt segment map, a crashed destination) propagates.
+  StatusOr<MigrationRoundStats> RunOnce(
+      SimTime now, std::vector<MigrationRecord>* records = nullptr);
 
   const MigrationConfig& config() const { return config_; }
 

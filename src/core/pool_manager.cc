@@ -551,8 +551,12 @@ StatusOr<MigrationRecord> PoolManager::MigrateSegment(SegmentId seg,
   return MigrationRecord{seg, from, to, info->size};
 }
 
-std::vector<SegmentId> PoolManager::OnServerCrash(cluster::ServerId server) {
-  cluster_->server(server).Crash();
+StatusOr<std::vector<SegmentId>> PoolManager::OnServerCrash(
+    cluster::ServerId server) {
+  if (server >= static_cast<cluster::ServerId>(cluster_->num_servers())) {
+    return NotFoundError("unknown server");
+  }
+  LMP_RETURN_IF_ERROR(cluster_->server(server).Crash());
   const Location crashed = Location::OnServer(server);
   // Replica copies on the crashed host are gone: scrub the records so no
   // later operation (promotion, free) dereferences dead frames.
@@ -606,6 +610,19 @@ std::vector<SegmentId> PoolManager::OnServerCrash(cluster::ServerId server) {
                     static_cast<std::uint64_t>(lost.size()))});
   }
   return lost;
+}
+
+Status PoolManager::OnServerRecover(cluster::ServerId server) {
+  if (server >= static_cast<cluster::ServerId>(cluster_->num_servers())) {
+    return NotFoundError("unknown server");
+  }
+  LMP_RETURN_IF_ERROR(cluster_->server(server).Recover());
+  metrics_->Increment("lmp.crash.recoveries");
+  if (trace_ != nullptr) {
+    trace_->Instant(trace::Category::kCrash, "server_recover", trace_->now(),
+                    {trace::Arg("server", static_cast<std::uint64_t>(server))});
+  }
+  return Status::Ok();
 }
 
 AddressTranslator& PoolManager::translator(cluster::ServerId server) {

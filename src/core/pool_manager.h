@@ -157,8 +157,15 @@ class PoolManager {
 
   // Marks the server crashed.  Segments homed there fail over to a replica
   // when one exists (see ReplicationManager) or transition to kLost.
-  // Returns the segments that were lost.
-  std::vector<SegmentId> OnServerCrash(cluster::ServerId server);
+  // Returns the segments that were lost; fails with kNotFound for an
+  // unknown server and kFailedPrecondition for a double crash.
+  StatusOr<std::vector<SegmentId>> OnServerCrash(cluster::ServerId server);
+
+  // Brings a crashed server back.  Its shared region rejoins the pool
+  // empty: prior contents are gone, and segments lost in the crash stay
+  // kLost until a recovery layer (erasure) rebuilds them.  Fails with
+  // kNotFound / kFailedPrecondition like OnServerCrash.
+  Status OnServerRecover(cluster::ServerId server);
 
   // Translation -------------------------------------------------------------------
 

@@ -100,7 +100,8 @@ Status ReplicationManager::ProtectBuffer(BufferId buffer) {
   return Status::Ok();
 }
 
-StatusOr<int> ReplicationManager::RestoreRedundancy() {
+StatusOr<int> ReplicationManager::RestoreRedundancy(
+    std::vector<ReplicaRecord>* records) {
   int created = 0;
   // Compact into `alive` as we scan: freed segments (no longer in the map)
   // and crash-lost ones can never regain redundancy, so carrying them
@@ -124,6 +125,10 @@ StatusOr<int> ReplicationManager::RestoreRedundancy() {
       if (!host_or.ok()) break;  // not enough live capacity right now
       LMP_RETURN_IF_ERROR(CreateReplica(info, host_or.value()));
       ++created;
+      if (records != nullptr) {
+        records->push_back(ReplicaRecord{seg, info->home,
+                                         info->replicas.back(), info->size});
+      }
     }
   }
   const std::size_t pruned = protected_.size() - alive.size();

@@ -17,6 +17,16 @@
 
 namespace lmp::core {
 
+// One replica copy made during redundancy restoration; what the timing
+// layer (and the chaos injector) consumes to price the re-replication
+// traffic as fabric flows.
+struct ReplicaRecord {
+  SegmentId segment = kInvalidSegment;
+  Location from;  // source of the copy (the current primary)
+  Location to;    // new replica host
+  Bytes bytes = 0;
+};
+
 class ReplicationManager {
  public:
   // replication_factor = number of EXTRA copies (1 => tolerate one crash).
@@ -34,7 +44,9 @@ class ReplicationManager {
   // (after crashes/promotions).  Returns the number of replicas created.
   // Segments that were freed or lost since protection are pruned from the
   // protected list here, so repeated restoration never rescans dead ids.
-  StatusOr<int> RestoreRedundancy();
+  // The overload appends one ReplicaRecord per copy made to `records`.
+  StatusOr<int> RestoreRedundancy() { return RestoreRedundancy(nullptr); }
+  StatusOr<int> RestoreRedundancy(std::vector<ReplicaRecord>* records);
 
   // Storage overhead factor for this configuration (1 + factor).
   double CapacityOverhead() const { return 1.0 + replication_factor_; }

@@ -33,7 +33,10 @@ std::vector<MigrationRecord> LmpRuntime::Tick(SimTime now) {
   if (config_.enable_migration &&
       (last_migration_ < 0 ||
        now - last_migration_ >= config_.migration_period)) {
-    const MigrationRoundStats round = migrator_.RunOnce(now, &records);
+    // A failed round leaves default (zero) stats; the error concerns the
+    // segment it tripped on, and the next tick retries the rest.
+    const MigrationRoundStats round =
+        migrator_.RunOnce(now, &records).value_or(MigrationRoundStats{});
     ++stats_.migration_rounds;
     stats_.migrations += round.migrated;
     stats_.bytes_migrated += round.bytes_moved;
@@ -115,7 +118,8 @@ StatusOr<std::vector<MigrationRecord>> LmpRuntime::DrainServer(
 
 std::vector<MigrationRecord> LmpRuntime::RunAllNow(SimTime now) {
   std::vector<MigrationRecord> records;
-  const MigrationRoundStats round = migrator_.RunOnce(now, &records);
+  const MigrationRoundStats round =
+      migrator_.RunOnce(now, &records).value_or(MigrationRoundStats{});
   ++stats_.migration_rounds;
   stats_.migrations += round.migrated;
   stats_.bytes_migrated += round.bytes_moved;

@@ -22,6 +22,8 @@ void Topology::AddServers(int num_servers) {
     server_port_.push_back(
         sim_->AddResource(prefix + ".port", link_.bandwidth));
   }
+  server_bw_mult_.assign(server_port_.size(), 1.0);
+  server_lat_mult_.assign(server_port_.size(), 1.0);
 }
 
 Topology Topology::MakeLogical(sim::FluidSimulator* sim, int num_servers,
@@ -103,6 +105,57 @@ std::vector<sim::ResourceId> Topology::DmaPoolPath(ServerIndex src) const {
   return {port(src), pool_port(static_cast<int>(src)), pool_dram()};
 }
 
+Status Topology::SetLinkHealth(ServerIndex s, double bandwidth_mult,
+                               double latency_mult) {
+  if (s >= server_port_.size()) return NotFoundError("unknown server port");
+  if (bandwidth_mult <= 0.0 || bandwidth_mult > 1.0) {
+    return InvalidArgumentError("bandwidth multiplier must be in (0, 1]");
+  }
+  if (latency_mult < 1.0) {
+    return InvalidArgumentError("latency multiplier must be >= 1");
+  }
+  server_bw_mult_[s] = bandwidth_mult;
+  server_lat_mult_[s] = latency_mult;
+  LMP_RETURN_IF_ERROR(
+      sim_->SetCapacity(server_port_[s], link_.bandwidth * bandwidth_mult));
+  return Status::Ok();
+}
+
+Status Topology::RestoreLink(ServerIndex s) {
+  return SetLinkHealth(s, 1.0, 1.0);
+}
+
+Status Topology::SetPoolLinkHealth(double bandwidth_mult,
+                                   double latency_mult) {
+  if (pool_port_.empty()) {
+    return FailedPreconditionError("logical topology has no pool box");
+  }
+  if (bandwidth_mult <= 0.0 || bandwidth_mult > 1.0) {
+    return InvalidArgumentError("bandwidth multiplier must be in (0, 1]");
+  }
+  if (latency_mult < 1.0) {
+    return InvalidArgumentError("latency multiplier must be >= 1");
+  }
+  pool_bw_mult_ = bandwidth_mult;
+  pool_lat_mult_ = latency_mult;
+  for (sim::ResourceId p : pool_port_) {
+    LMP_RETURN_IF_ERROR(sim_->SetCapacity(p, link_.bandwidth * bandwidth_mult));
+  }
+  return Status::Ok();
+}
+
+Status Topology::RestorePoolLink() { return SetPoolLinkHealth(1.0, 1.0); }
+
+double Topology::link_bandwidth_mult(ServerIndex s) const {
+  LMP_CHECK(s < server_bw_mult_.size());
+  return server_bw_mult_[s];
+}
+
+double Topology::link_latency_mult(ServerIndex s) const {
+  LMP_CHECK(s < server_lat_mult_.size());
+  return server_lat_mult_[s];
+}
+
 void Topology::SampleUtilization(trace::TraceCollector* collector) const {
   if (collector == nullptr) return;
   const SimTime now = sim_->now();
@@ -129,7 +182,10 @@ SimTime Topology::RemoteLoadedLatency(ServerIndex src,
   const double u = std::max(sim_->SmoothedUtilization(port(src)),
                             std::max(sim_->SmoothedUtilization(port(dst)),
                                      sim_->SmoothedUtilization(dram(dst))));
-  return link_.LoadedLatency(u);
+  // A degraded endpoint stretches the whole path's latency.
+  const double lat_mult =
+      std::max(link_latency_mult(src), link_latency_mult(dst));
+  return link_.LoadedLatency(u) * lat_mult;
 }
 
 SimTime Topology::PoolLoadedLatency(ServerIndex src) const {
@@ -138,7 +194,8 @@ SimTime Topology::PoolLoadedLatency(ServerIndex src) const {
       std::max(
           sim_->SmoothedUtilization(pool_port(static_cast<int>(src))),
           sim_->SmoothedUtilization(pool_dram())));
-  return link_.LoadedLatency(u);
+  const double lat_mult = std::max(link_latency_mult(src), pool_lat_mult_);
+  return link_.LoadedLatency(u) * lat_mult;
 }
 
 }  // namespace lmp::fabric

@@ -16,6 +16,7 @@
 #include <vector>
 
 #include "common/logging.h"
+#include "common/status.h"
 #include "common/units.h"
 #include "fabric/link.h"
 #include "sim/fluid.h"
@@ -79,6 +80,26 @@ class Topology {
   SimTime RemoteLoadedLatency(ServerIndex src, ServerIndex dst) const;
   SimTime PoolLoadedLatency(ServerIndex src) const;
 
+  // Link health (chaos layer) ------------------------------------------------
+  // Scales one server's fabric-port capacity by `bandwidth_mult` (0, 1] and
+  // its loaded latency by `latency_mult` >= 1, relative to the HEALTHY
+  // profile — calls are absolute, not cumulative, so a repeated degrade
+  // does not compound.  The capacity change reprices in-flight flows at the
+  // simulator's current time.  RestoreLink resets to 1x/1x.
+  Status SetLinkHealth(ServerIndex s, double bandwidth_mult,
+                       double latency_mult);
+  Status RestoreLink(ServerIndex s);
+  // Same for every port of the physical pool box (the Fig. 1a incast point).
+  Status SetPoolLinkHealth(double bandwidth_mult, double latency_mult);
+  Status RestorePoolLink();
+
+  double link_bandwidth_mult(ServerIndex s) const;
+  double link_latency_mult(ServerIndex s) const;
+  double pool_link_bandwidth_mult() const { return pool_bw_mult_; }
+  bool link_degraded(ServerIndex s) const {
+    return link_bandwidth_mult(s) < 1.0 || link_latency_mult(s) > 1.0;
+  }
+
   // Tracing ------------------------------------------------------------------
   // Emits one counter sample per port/DRAM resource (utilization in [0, 1],
   // named "util.<resource>") at the simulator's current time.  Call
@@ -103,6 +124,12 @@ class Topology {
   std::vector<sim::ResourceId> pool_port_;
   sim::ResourceId pool_dram_ = 0;
   bool has_pool_dram_ = false;
+
+  // Per-port health multipliers (1.0 = pristine), indexed like server_port_.
+  std::vector<double> server_bw_mult_;
+  std::vector<double> server_lat_mult_;
+  double pool_bw_mult_ = 1.0;
+  double pool_lat_mult_ = 1.0;
 };
 
 }  // namespace lmp::fabric

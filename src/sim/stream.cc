@@ -40,7 +40,18 @@ ParallelRunResult RunStreams(
   const SolverStats before = sim->solver_stats();
   result.start = sim->now();
   for (auto& s : streams) s->Start();
-  sim->Run();
+  // Step until every stream completes rather than draining the simulator:
+  // with no external timers this is identical to Run(), but when a fault
+  // plan has timers scheduled past the workload, Run() would credit their
+  // idle tail to the streams' elapsed time.
+  auto all_done = [&] {
+    for (const auto& s : streams) {
+      if (!s->done()) return false;
+    }
+    return true;
+  };
+  while (!all_done() && sim->Step()) {
+  }
   result.end = sim->now();
   const SolverStats& after = sim->solver_stats();
   result.solver.recompute_calls =

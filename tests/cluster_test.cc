@@ -42,9 +42,12 @@ TEST(ServerTest, ShrinkBlockedByLiveData) {
 TEST(ServerTest, RecoverClearsAllocations) {
   Server s(0, MiB(4), MiB(4), 4, KiB(4), true);
   ASSERT_TRUE(s.shared_allocator().Allocate(10).ok());
-  s.Crash();
+  ASSERT_TRUE(s.Crash().ok());
   EXPECT_TRUE(s.crashed());
-  s.Recover();
+  // Double crash / double recover are state errors, not silent no-ops.
+  EXPECT_EQ(s.Crash().code(), StatusCode::kFailedPrecondition);
+  ASSERT_TRUE(s.Recover().ok());
+  EXPECT_EQ(s.Recover().code(), StatusCode::kFailedPrecondition);
   EXPECT_FALSE(s.crashed());
   EXPECT_EQ(s.shared_allocator().free_frames(),
             s.shared_allocator().num_frames());
@@ -61,9 +64,10 @@ TEST(PoolDeviceTest, CapacityAndCrash) {
   PoolDevice pool(GiB(64), mem::kDefaultFrameSize, false);
   EXPECT_EQ(pool.capacity(), GiB(64));
   EXPECT_FALSE(pool.crashed());
-  pool.Crash();
+  ASSERT_TRUE(pool.Crash().ok());
   EXPECT_TRUE(pool.crashed());
-  pool.Recover();
+  EXPECT_EQ(pool.Crash().code(), StatusCode::kFailedPrecondition);
+  ASSERT_TRUE(pool.Recover().ok());
   EXPECT_FALSE(pool.crashed());
 }
 
@@ -98,7 +102,7 @@ TEST(ClusterTest, BuildsPhysical) {
 
 TEST(ClusterTest, CrashReducesPooledCapacity) {
   Cluster c(ClusterConfig::PaperLogical());
-  c.server(1).Crash();
+  ASSERT_TRUE(c.server(1).Crash().ok());
   EXPECT_EQ(c.LiveServerCount(), 3);
   EXPECT_EQ(c.PooledCapacityBytes(), GiB(72));
 }

@@ -54,7 +54,8 @@ TEST_F(ReplicationTest, CrashFailsOverToReplicaWithData) {
   ASSERT_TRUE(repl.ProtectBuffer(*buf).ok());
 
   const auto lost = manager_.OnServerCrash(0);
-  EXPECT_TRUE(lost.empty());  // replica absorbed the failure
+  ASSERT_TRUE(lost.ok());
+  EXPECT_TRUE(lost->empty());  // replica absorbed the failure
 
   std::vector<std::byte> out(KiB(32));
   ASSERT_TRUE(manager_.Read(1, *buf, 0, out).ok());
@@ -65,7 +66,8 @@ TEST_F(ReplicationTest, UnprotectedSegmentsAreLostOnCrash) {
   auto buf = manager_.Allocate(KiB(32), 0);
   ASSERT_TRUE(buf.ok());
   const auto lost = manager_.OnServerCrash(0);
-  EXPECT_EQ(lost.size(), 1u);
+  ASSERT_TRUE(lost.ok());
+  EXPECT_EQ(lost->size(), 1u);
 }
 
 TEST_F(ReplicationTest, RestoreRedundancyAfterFailover) {
@@ -73,7 +75,7 @@ TEST_F(ReplicationTest, RestoreRedundancyAfterFailover) {
   auto buf = manager_.Allocate(KiB(32), 0);
   ASSERT_TRUE(buf.ok());
   ASSERT_TRUE(repl.ProtectBuffer(*buf).ok());
-  manager_.OnServerCrash(0);
+  ASSERT_TRUE(manager_.OnServerCrash(0).ok());
 
   auto created = repl.RestoreRedundancy();
   ASSERT_TRUE(created.ok());
@@ -94,12 +96,12 @@ TEST_F(ReplicationTest, SurvivesTwoSequentialCrashesWithRestore) {
   ASSERT_TRUE(manager_.Write(0, *buf, 0, in).ok());
   ASSERT_TRUE(repl.ProtectBuffer(*buf).ok());
 
-  manager_.OnServerCrash(0);
+  ASSERT_TRUE(manager_.OnServerCrash(0).ok());
   ASSERT_TRUE(repl.RestoreRedundancy().ok());
   const SegmentInfo* info =
       manager_.segment_map().Find(manager_.Describe(*buf)->segments[0]);
   const auto second_victim = info->home.server;
-  manager_.OnServerCrash(second_victim);
+  ASSERT_TRUE(manager_.OnServerCrash(second_victim).ok());
 
   std::vector<std::byte> out(KiB(16));
   ASSERT_TRUE(manager_.Read(3, *buf, 0, out).ok());
@@ -187,7 +189,7 @@ TEST_F(ErasureTest, RecoversLostMemberBitExact) {
   }
   ASSERT_TRUE(erasure.ProtectSegments(segments).ok());
 
-  manager_.OnServerCrash(1);
+  ASSERT_TRUE(manager_.OnServerCrash(1).ok());
   ASSERT_EQ(manager_.segment_map().Find(segments[1])->state,
             SegmentState::kLost);
   ASSERT_TRUE(erasure.RecoverSegment(segments[1]).ok());
@@ -207,7 +209,7 @@ TEST_F(ErasureTest, RecoverAllLostSweepsEveryGroup) {
                                buffers_[s], 0, Pattern(KiB(8), s)).ok());
   }
   ASSERT_TRUE(erasure.ProtectSegments(segments).ok());
-  manager_.OnServerCrash(0);
+  ASSERT_TRUE(manager_.OnServerCrash(0).ok());
   // Server 0 hosted segment 0 AND (by the most-free placement heuristic)
   // the parity of the second group — both must be rebuilt.
   auto recovered = erasure.RecoverAllLost();
@@ -221,8 +223,8 @@ TEST_F(ErasureTest, DoubleLossInGroupIsDataLoss) {
   XorErasureManager erasure(&manager_, 3);
   const auto segments = AllocStripe(3, KiB(8));
   ASSERT_TRUE(erasure.ProtectSegments(segments).ok());
-  manager_.OnServerCrash(0);
-  manager_.OnServerCrash(1);
+  ASSERT_TRUE(manager_.OnServerCrash(0).ok());
+  ASSERT_TRUE(manager_.OnServerCrash(1).ok());
   EXPECT_EQ(erasure.RecoverSegment(segments[0]).code(),
             StatusCode::kDataLoss);
 }
@@ -297,7 +299,7 @@ TEST_F(ReplicationTest, MigrationToReplicaHostPromotesInPlace) {
   EXPECT_EQ(in, out);
 
   // The swapped layout still tolerates a crash of the new home.
-  manager_.OnServerCrash(replica_host);
+  ASSERT_TRUE(manager_.OnServerCrash(replica_host).ok());
   ASSERT_TRUE(manager_.Read(2, *buf, 0, out).ok());
   EXPECT_EQ(in, out);
 }
@@ -346,7 +348,8 @@ TEST_F(ReplicationTest, LostSegmentsArePrunedAfterRestore) {
   EXPECT_EQ(repl.protected_count(), 1u);
 
   const auto lost = manager_.OnServerCrash(0);
-  EXPECT_TRUE(lost.empty());  // replica absorbed the crash
+  ASSERT_TRUE(lost.ok());
+  EXPECT_TRUE(lost->empty());  // replica absorbed the crash
   auto created = repl.RestoreRedundancy();
   ASSERT_TRUE(created.ok());
   EXPECT_EQ(*created, 1);
@@ -370,7 +373,7 @@ TEST_F(ReplicationTest, CrashScrubsReplicaRecords) {
       manager_.segment_map().Find(seg)->replicas[0].server;
 
   // Crash the REPLICA's host: the primary survives, the record must go.
-  manager_.OnServerCrash(replica_host);
+  ASSERT_TRUE(manager_.OnServerCrash(replica_host).ok());
   EXPECT_TRUE(manager_.segment_map().Find(seg)->replicas.empty());
   auto created = repl.RestoreRedundancy();
   ASSERT_TRUE(created.ok());

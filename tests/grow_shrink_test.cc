@@ -112,7 +112,7 @@ TEST_F(GrowShrinkTest, SnapshotReportsCapacityAndBacklog) {
 }
 
 TEST_F(GrowShrinkTest, SnapshotMarksCrashedServers) {
-  manager_.OnServerCrash(2);
+  ASSERT_TRUE(manager_.OnServerCrash(2).ok());
   const auto snap = manager_.Snapshot(0);
   EXPECT_TRUE(snap.servers[2].crashed);
 }

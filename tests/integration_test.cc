@@ -139,7 +139,7 @@ TEST_P(RandomOpsTest, InvariantsHoldUnderRandomOperations) {
     } else if (crashed_server >= 0) {
       // Recover the crashed server; drop bookkeeping for buffers whose
       // data was lost (they now read as DATA_LOSS forever).
-      cluster.server(static_cast<cluster::ServerId>(crashed_server))
+      (void)cluster.server(static_cast<cluster::ServerId>(crashed_server))
           .Recover();
       crashed_server = -1;
       (void)replication.RestoreRedundancy();
@@ -227,7 +227,7 @@ TEST(EndToEndTest, ZipfTraceBalancingImprovesLocality) {
   EXPECT_DOUBLE_EQ(before->LocalFraction(), 0.0);
 
   for (int round = 0; round < 4; ++round) {
-    engine.RunOnce(Seconds(2));
+    ASSERT_TRUE(engine.RunOnce(Seconds(2)).ok());
   }
   auto after = replayer.Replay(trace, Seconds(3));
   ASSERT_TRUE(after.ok());
@@ -259,7 +259,7 @@ TEST(EndToEndTest, MigrationOfErasureMemberKeepsGroupRecoverable) {
 
   // Migrate member 0 somewhere else, then crash its new home.
   ASSERT_TRUE(manager.MigrateSegment(segments[0], 4).ok());
-  manager.OnServerCrash(4);
+  ASSERT_TRUE(manager.OnServerCrash(4).ok());
   ASSERT_EQ(manager.segment_map().Find(segments[0])->state,
             core::SegmentState::kLost);
 

@@ -39,7 +39,8 @@ TEST_F(MigrationTest, MigratesSegmentTowardDominantRemoteAccessor) {
   MigrationEngine engine(&manager_);
   std::vector<MigrationRecord> records;
   const auto stats = engine.RunOnce(0, &records);
-  EXPECT_EQ(stats.migrated, 1);
+  ASSERT_TRUE(stats.ok());
+  EXPECT_EQ(stats->migrated, 1);
   ASSERT_EQ(records.size(), 1u);
   EXPECT_EQ(records[0].segment, seg);
   EXPECT_EQ(records[0].to.server, 2u);
@@ -51,7 +52,8 @@ TEST_F(MigrationTest, LocalDominantAccessorIsNotACandidate) {
   manager_.access_tracker().RecordAccess(seg, 1, double(MiB(2)), 0);
   MigrationEngine engine(&manager_);
   const auto stats = engine.RunOnce(0);
-  EXPECT_EQ(stats.candidates, 0);
+  ASSERT_TRUE(stats.ok());
+  EXPECT_EQ(stats->candidates, 0);
   EXPECT_EQ(manager_.segment_map().Find(seg)->home.server, 1u);
 }
 
@@ -60,7 +62,7 @@ TEST_F(MigrationTest, InsufficientTrafficDoesNotPayCopyCost) {
   // Remote traffic below benefit_factor * size.
   manager_.access_tracker().RecordAccess(seg, 2, double(KiB(32)), 0);
   MigrationEngine engine(&manager_);
-  EXPECT_EQ(engine.RunOnce(0).candidates, 0);
+  EXPECT_EQ(engine.RunOnce(0)->candidates, 0);
 }
 
 TEST_F(MigrationTest, NonDominantSharesDoNotTrigger) {
@@ -72,7 +74,7 @@ TEST_F(MigrationTest, NonDominantSharesDoNotTrigger) {
   MigrationConfig config;
   config.dominance_threshold = 0.55;
   MigrationEngine engine(&manager_, config);
-  EXPECT_EQ(engine.RunOnce(0).candidates, 0);
+  EXPECT_EQ(engine.RunOnce(0)->candidates, 0);
 }
 
 TEST_F(MigrationTest, RoundCapLimitsMigrations) {
@@ -84,8 +86,9 @@ TEST_F(MigrationTest, RoundCapLimitsMigrations) {
     manager_.access_tracker().RecordAccess(seg, 1, double(MiB(1)), 0);
   }
   const auto stats = engine.RunOnce(0);
-  EXPECT_EQ(stats.candidates, 5);
-  EXPECT_EQ(stats.migrated, 2);
+  ASSERT_TRUE(stats.ok());
+  EXPECT_EQ(stats->candidates, 5);
+  EXPECT_EQ(stats->migrated, 2);
 }
 
 TEST_F(MigrationTest, HighestNetBenefitMovesFirst) {
@@ -97,7 +100,7 @@ TEST_F(MigrationTest, HighestNetBenefitMovesFirst) {
   manager_.access_tracker().RecordAccess(cool, 1, double(KiB(64)), 0);
   manager_.access_tracker().RecordAccess(hot, 1, double(MiB(1)), 0);
   std::vector<MigrationRecord> records;
-  engine.RunOnce(0, &records);
+  ASSERT_TRUE(engine.RunOnce(0, &records).ok());
   ASSERT_EQ(records.size(), 1u);
   EXPECT_EQ(records[0].segment, hot);
 }
@@ -109,8 +112,9 @@ TEST_F(MigrationTest, SkipsWhenDestinationFull) {
   manager_.access_tracker().RecordAccess(seg, 1, double(MiB(2)), 0);
   MigrationEngine engine(&manager_);
   const auto stats = engine.RunOnce(0);
-  EXPECT_EQ(stats.migrated, 0);
-  EXPECT_EQ(stats.skipped_capacity, 1);
+  ASSERT_TRUE(stats.ok());
+  EXPECT_EQ(stats->migrated, 0);
+  EXPECT_EQ(stats->skipped_capacity, 1);
 }
 
 TEST_F(MigrationTest, MigrationPreservesDataEndToEnd) {
@@ -121,7 +125,7 @@ TEST_F(MigrationTest, MigrationPreservesDataEndToEnd) {
   const SegmentId seg = manager_.Describe(*buf)->segments[0];
   manager_.access_tracker().RecordAccess(seg, 3, double(MiB(2)), 0);
   MigrationEngine engine(&manager_);
-  ASSERT_EQ(engine.RunOnce(0).migrated, 1);
+  ASSERT_EQ(engine.RunOnce(0)->migrated, 1);
   std::vector<std::byte> out(KiB(32));
   ASSERT_TRUE(manager_.Read(3, *buf, 0, out).ok());
   EXPECT_EQ(in, out);
@@ -131,9 +135,9 @@ TEST_F(MigrationTest, RepeatedRoundsConverge) {
   const SegmentId seg = AllocOn(0);
   manager_.access_tracker().RecordAccess(seg, 2, double(MiB(2)), 0);
   MigrationEngine engine(&manager_);
-  EXPECT_EQ(engine.RunOnce(0).migrated, 1);
+  EXPECT_EQ(engine.RunOnce(0)->migrated, 1);
   // Traffic profile unchanged; segment already at its dominant accessor.
-  EXPECT_EQ(engine.RunOnce(0).migrated, 0);
+  EXPECT_EQ(engine.RunOnce(0)->migrated, 0);
 }
 
 }  // namespace

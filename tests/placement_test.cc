@@ -62,7 +62,7 @@ TEST_P(PlacementPolicyParamTest, OverCapacityIsOutOfMemory) {
 
 TEST_P(PlacementPolicyParamTest, SkipsCrashedServers) {
   cluster::Cluster cluster(SmallConfig());
-  cluster.server(2).Crash();
+  ASSERT_TRUE(cluster.server(2).Crash().ok());
   auto policy = MakePlacementPolicy(GetParam());
   auto chunks = policy->Place(cluster, MiB(40), 0);
   ASSERT_TRUE(chunks.ok());
@@ -71,7 +71,7 @@ TEST_P(PlacementPolicyParamTest, SkipsCrashedServers) {
 
 TEST_P(PlacementPolicyParamTest, AllServersCrashedIsUnavailable) {
   cluster::Cluster cluster(SmallConfig());
-  for (int s = 0; s < 4; ++s) cluster.server(s).Crash();
+  for (int s = 0; s < 4; ++s) ASSERT_TRUE(cluster.server(s).Crash().ok());
   auto policy = MakePlacementPolicy(GetParam());
   EXPECT_TRUE(IsUnavailable(policy->Place(cluster, MiB(1), 0).status()));
 }

@@ -212,7 +212,7 @@ TEST_F(PoolManagerTest, MigrationToFullServerFails) {
 TEST_F(PoolManagerTest, MigrationToCrashedServerRejected) {
   auto buf = manager_.Allocate(KiB(4), 0);
   ASSERT_TRUE(buf.ok());
-  cluster_.server(3).Crash();
+  ASSERT_TRUE(cluster_.server(3).Crash().ok());
   auto info = manager_.Describe(*buf);
   EXPECT_TRUE(IsUnavailable(
       manager_.MigrateSegment(info->segments[0], 3).status()));
@@ -223,8 +223,9 @@ TEST_F(PoolManagerTest, CrashLosesUnreplicatedSegments) {
   ASSERT_TRUE(buf.ok());
   auto info = manager_.Describe(*buf);
   const auto lost = manager_.OnServerCrash(2);
-  ASSERT_EQ(lost.size(), 1u);
-  EXPECT_EQ(lost[0], info->segments[0]);
+  ASSERT_TRUE(lost.ok());
+  ASSERT_EQ(lost->size(), 1u);
+  EXPECT_EQ((*lost)[0], info->segments[0]);
   // Reads now surface data loss.
   std::vector<std::byte> out(16);
   EXPECT_EQ(manager_.Read(0, *buf, 0, out).code(), StatusCode::kDataLoss);
@@ -236,7 +237,7 @@ TEST_F(PoolManagerTest, CrashSparesOtherServersSegments) {
   auto safe = manager_.Allocate(MiB(1), 0);
   auto doomed = manager_.Allocate(MiB(1), 2);
   ASSERT_TRUE(safe.ok() && doomed.ok());
-  manager_.OnServerCrash(2);
+  ASSERT_TRUE(manager_.OnServerCrash(2).ok());
   std::vector<std::byte> out(16);
   EXPECT_TRUE(manager_.Read(0, *safe, 0, out).ok());
 }
@@ -244,7 +245,7 @@ TEST_F(PoolManagerTest, CrashSparesOtherServersSegments) {
 TEST_F(PoolManagerTest, FreeLostBufferStillReleasesMetadata) {
   auto buf = manager_.Allocate(MiB(1), 2);
   ASSERT_TRUE(buf.ok());
-  manager_.OnServerCrash(2);
+  ASSERT_TRUE(manager_.OnServerCrash(2).ok());
   EXPECT_TRUE(manager_.Free(*buf).ok());
   EXPECT_FALSE(manager_.Describe(*buf).ok());
 }

@@ -115,7 +115,7 @@ TEST(SizingTest, ApplyDefersBlockedShrink) {
 
 TEST(SizingTest, ApplySkipsCrashedServers) {
   cluster::Cluster cluster(Config());
-  cluster.server(2).Crash();
+  ASSERT_TRUE(cluster.server(2).Crash().ok());
   SizingPlan plan;
   plan.entries.push_back({2, GiB(4), 0, 0});
   EXPECT_EQ(SizingOptimizer::Apply(cluster, plan), 1);

@@ -46,7 +46,8 @@ TEST(TimingModeTest, ReplicationFailoverWithoutBacking) {
   ASSERT_TRUE(buf.ok());
   ASSERT_TRUE(repl.ProtectBuffer(*buf).ok());
   const auto lost = manager.OnServerCrash(0);
-  EXPECT_TRUE(lost.empty());
+  ASSERT_TRUE(lost.ok());
+  EXPECT_TRUE(lost->empty());
   // Spans still resolve (to the promoted replica's home).
   EXPECT_TRUE(manager.Spans(*buf, 0, GiB(2)).ok());
 }
@@ -65,7 +66,7 @@ TEST(TimingModeTest, ErasureRecoveryWithoutBacking) {
     segments.push_back(manager.Describe(*buf)->segments[0]);
   }
   ASSERT_TRUE(erasure.ProtectSegments(segments).ok());
-  manager.OnServerCrash(0);
+  ASSERT_TRUE(manager.OnServerCrash(0).ok());
   auto recovered = erasure.RecoverAllLost();
   ASSERT_TRUE(recovered.ok());
   EXPECT_GE(*recovered, 1);

@@ -279,7 +279,7 @@ std::string TracedMigrationRun() {
       &manager, core::MigrationConfig{.dominance_threshold = 0.5,
                                       .benefit_factor = 0.0,
                                       .max_migrations_per_round = 4});
-  engine.RunOnce(sim.now(), nullptr);
+  EXPECT_TRUE(engine.RunOnce(sim.now(), nullptr).ok());
 
   // Link samples and shipped-task spans.
   topo.SampleUtilization(&collector);
