@@ -17,6 +17,7 @@
 #include <cstdint>
 #include <string>
 #include <string_view>
+#include <vector>
 
 namespace lmp::bench {
 
@@ -53,6 +54,23 @@ struct Args {
       }
     }
     return args;
+  }
+
+  // argv with the sidecar flags removed (argv[0] kept), for benches whose
+  // own parser rejects unknown flags (google-benchmark binaries).  The
+  // returned pointers alias `argv`, which must stay alive.
+  static std::vector<char*> Strip(int argc, char** argv) {
+    std::vector<char*> kept;
+    if (argc > 0) kept.push_back(argv[0]);
+    for (int i = 1; i < argc; ++i) {
+      const std::string_view arg = argv[i];
+      const bool ours = arg.rfind("--trace-out=", 0) == 0 ||
+                        arg.rfind("--metrics-out=", 0) == 0 ||
+                        arg.rfind("--fault-plan=", 0) == 0 ||
+                        arg.rfind("--seed=", 0) == 0;
+      if (!ours) kept.push_back(argv[i]);
+    }
+    return kept;
   }
 };
 

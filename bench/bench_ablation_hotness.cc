@@ -16,6 +16,9 @@
 #include "core/access_bits.h"
 #include "core/pool_manager.h"
 
+#include "args.h"
+#include "trace_sidecar.h"
+
 namespace {
 
 using namespace lmp;
@@ -98,7 +101,8 @@ Outcome Drive(bool use_access_bits) {
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  lmp::bench::TraceSidecar sidecar(lmp::bench::Args::Parse(argc, argv));
   std::printf(
       "== Hotness-source ablation: %d-buffer mixed workload, budget of %d "
       "migrations ==\n",
@@ -117,5 +121,6 @@ int main() {
       "cheap mechanism the paper suggests works when reuse and footprint\n"
       "correlate; performance counters are worth their overhead when they\n"
       "do not (Section 5).\n");
+  sidecar.Flush();
   return 0;
 }

@@ -7,7 +7,11 @@
 #include "baselines/logical.h"
 #include "common/table.h"
 
-int main() {
+#include "args.h"
+#include "trace_sidecar.h"
+
+int main(int argc, char** argv) {
+  lmp::bench::TraceSidecar sidecar(lmp::bench::Args::Parse(argc, argv));
   using namespace lmp;
   std::printf(
       "== Placement policy ablation: 24 and 64 GiB vector sums, Link1 ==\n");
@@ -35,5 +39,6 @@ int main() {
       "\nLocal-first wins for a single consumer because locality is the\n"
       "whole advantage (Section 4.3); spreading policies only pay off when\n"
       "many servers consume the data (see bench_nearmem_shipping).\n");
+  sidecar.Flush();
   return 0;
 }

@@ -8,6 +8,9 @@
 #include "common/table.h"
 #include "core/sizing.h"
 
+#include "args.h"
+#include "trace_sidecar.h"
+
 namespace {
 
 using namespace lmp;
@@ -63,7 +66,8 @@ Outcome EvaluateStatic(const cluster::Cluster& cluster, Bytes shared_each,
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  lmp::bench::TraceSidecar sidecar(lmp::bench::Args::Parse(argc, argv));
   cluster::ClusterConfig config = cluster::ClusterConfig::PaperLogical();
   config.server_shared_memory = 0;
   cluster::Cluster cluster(config);
@@ -100,5 +104,6 @@ int main() {
       "\nThe optimizer self-serves each server's pool demand first, so its\n"
       "local-access fraction dominates a striped static split, and it only\n"
       "sheds demand when the deployment is physically too small.\n");
+  sidecar.Flush();
   return 0;
 }

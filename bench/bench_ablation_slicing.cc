@@ -13,7 +13,11 @@
 #include "baselines/physical.h"
 #include "common/table.h"
 
-int main() {
+#include "args.h"
+#include "trace_sidecar.h"
+
+int main(int argc, char** argv) {
+  lmp::bench::TraceSidecar sidecar(lmp::bench::Args::Parse(argc, argv));
   using namespace lmp;
   std::printf(
       "== Core-slicing ablation: 64 GiB logical vector sum ==\n");
@@ -46,5 +50,6 @@ int main() {
       "\nBalanced slicing makes the logical advantage grow from Link0 to\n"
       "Link1 — the monotonicity the paper asserts — at the cost of a lower\n"
       "absolute number (no core finishes early on purely local data).\n");
+  sidecar.Flush();
   return 0;
 }

@@ -7,6 +7,9 @@
 // cache line to avoid false sharing").
 #include <benchmark/benchmark.h>
 
+#include "args.h"
+#include "trace_sidecar.h"
+
 #include "common/logging.h"
 #include "core/coherence.h"
 #include "core/coherent_region.h"
@@ -122,4 +125,19 @@ BENCHMARK(BM_Barrier_FullRound);
 
 }  // namespace
 
-BENCHMARK_MAIN();
+// Sidecar flags (--trace-out=/--metrics-out=) are stripped before
+// google-benchmark sees argv, so its strict parser does not reject them.
+int main(int argc, char** argv) {
+  const lmp::bench::Args args = lmp::bench::Args::Parse(argc, argv);
+  lmp::bench::TraceSidecar sidecar(args);
+  std::vector<char*> kept = lmp::bench::Args::Strip(argc, argv);
+  int kept_argc = static_cast<int>(kept.size());
+  benchmark::Initialize(&kept_argc, kept.data());
+  if (benchmark::ReportUnrecognizedArguments(kept_argc, kept.data())) {
+    return 1;
+  }
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  sidecar.Flush();
+  return 0;
+}

@@ -19,6 +19,9 @@
 #include "core/runtime.h"
 #include "fabric/topology.h"
 
+#include "args.h"
+#include "trace_sidecar.h"
+
 namespace {
 
 using namespace lmp;
@@ -35,7 +38,8 @@ double EffectiveGbps(double local_fraction,
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  lmp::bench::TraceSidecar sidecar(lmp::bench::Args::Parse(argc, argv));
   cluster::ClusterConfig config;
   config.num_servers = 4;
   config.cores_per_server = 14;
@@ -114,5 +118,6 @@ int main() {
       "\nOne deployment, three regimes: the private/shared knob and the\n"
       "balancer absorb workload shifts that would each require re-racking\n"
       "DIMMs in a physical-pool design (Sections 4.5, 5).\n");
+  sidecar.Flush();
   return 0;
 }

@@ -7,7 +7,11 @@
 #include "cluster/cost_model.h"
 #include "common/table.h"
 
-int main() {
+#include "args.h"
+#include "trace_sidecar.h"
+
+int main(int argc, char** argv) {
+  lmp::bench::TraceSidecar sidecar(lmp::bench::Args::Parse(argc, argv));
   using namespace lmp;
   using cluster::DeploymentCost;
 
@@ -70,5 +74,6 @@ int main() {
         "   adapters; logical pools avoid the incast point entirely via\n"
         "   placement, migration, and compute shipping (Section 4.2).\n");
   }
+  sidecar.Flush();
   return 0;
 }

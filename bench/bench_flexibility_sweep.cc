@@ -13,6 +13,9 @@
 #include "common/table.h"
 #include "core/sizing.h"
 
+#include "args.h"
+#include "trace_sidecar.h"
+
 namespace {
 
 using namespace lmp;
@@ -23,7 +26,8 @@ const char* StaticVerdict(Bytes working_set, Bytes shared_per_server) {
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  lmp::bench::TraceSidecar sidecar(lmp::bench::Args::Parse(argc, argv));
   cluster::ClusterConfig config;
   config.num_servers = 4;
   config.server_total_memory = GiB(24);
@@ -63,5 +67,6 @@ int main() {
       "whole range (up to total memory minus private floors) and keeps as\n"
       "much of the working set local as the job's own server can hold —\n"
       "the generalization of Figure 5's single data point (Section 4.5).\n");
+  sidecar.Flush();
   return 0;
 }

@@ -11,6 +11,9 @@
 #include "common/table.h"
 #include "core/pool_manager.h"
 
+#include "args.h"
+#include "trace_sidecar.h"
+
 namespace {
 
 using namespace lmp;
@@ -68,7 +71,8 @@ FrameOutcome Measure(Bytes frame_size) {
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  lmp::bench::TraceSidecar sidecar(lmp::bench::Args::Parse(argc, argv));
   std::printf(
       "== Frame-size ablation: metadata vs fragmentation vs alloc cost "
       "==\n");
@@ -89,5 +93,6 @@ int main() {
       "map resolved locally (the point of two-step translation) but far\n"
       "too many to replicate globally; 2 MiB frames cut metadata 512x at\n"
       "a few percent fragmentation on small-object workloads (Section 5).\n");
+  sidecar.Flush();
   return 0;
 }

@@ -9,7 +9,11 @@
 #include "common/table.h"
 #include "workloads/gups.h"
 
-int main() {
+#include "args.h"
+#include "trace_sidecar.h"
+
+int main(int argc, char** argv) {
+  lmp::bench::TraceSidecar sidecar(lmp::bench::Args::Parse(argc, argv));
   using namespace lmp;
   using workloads::GupsThroughputModel;
 
@@ -54,5 +58,6 @@ int main() {
       "locality the gap equals the loaded-latency ratio itself (2.8x /\n"
       "3.6x), and software paging is an order of magnitude behind both\n"
       "(Sections 2.1, 4.3).\n");
+  sidecar.Flush();
   return 0;
 }

@@ -4,11 +4,17 @@
 // so the fabric load spreads across ports.  Sweeps the number of pool
 // links to show what it takes for the physical pool to catch up.
 #include <cstdio>
+#include <string>
 
 #include "common/table.h"
 #include "fabric/topology.h"
 #include "sim/fluid.h"
 #include "sim/stream.h"
+
+#include "common/trace.h"
+
+#include "args.h"
+#include "trace_sidecar.h"
 
 namespace {
 
@@ -31,7 +37,8 @@ double AggregateBandwidth(sim::FluidSimulator* sim, int servers, int cores,
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  lmp::bench::TraceSidecar sidecar(lmp::bench::Args::Parse(argc, argv));
   const auto link = lmp::fabric::LinkProfile::Link0();
   std::printf(
       "== Incast: 4 servers x 14 cores concurrently reading 8 GiB of pool "
@@ -41,6 +48,11 @@ int main() {
   // Logical: server s reads from peer (s+1) % 4 — worst case, all remote.
   {
     lmp::sim::FluidSimulator sim;
+    if (auto* tc = sidecar.collector()) {
+      tc->BeginProcess("logical");
+      tc->set_clock([&sim] { return sim.now(); });
+      sim.set_trace(tc);
+    }
     auto topo = lmp::fabric::Topology::MakeLogical(&sim, 4, link);
     const double gbps = AggregateBandwidth(
         &sim, 4, 14, 8e9, [&](int s, int c) {
@@ -54,6 +66,11 @@ int main() {
   // Physical with 1, 2, 4 pool links.
   for (int links = 1; links <= 4; links *= 2) {
     lmp::sim::FluidSimulator sim;
+    if (auto* tc = sidecar.collector()) {
+      tc->BeginProcess("physical-" + std::to_string(links) + "-links");
+      tc->set_clock([&sim] { return sim.now(); });
+      sim.set_trace(tc);
+    }
     auto topo =
         lmp::fabric::Topology::MakePhysical(&sim, 4, link, {}, links);
     const double gbps = AggregateBandwidth(
@@ -70,5 +87,6 @@ int main() {
       "spreads the same\ntraffic across per-server ports, and placement / "
       "migration / shipping can\nremove the remote hop entirely.\n",
       link.bandwidth / 1e9);
+  sidecar.Flush();
   return 0;
 }

@@ -10,6 +10,9 @@
 #include "baselines/physical.h"
 #include "common/table.h"
 
+#include "args.h"
+#include "trace_sidecar.h"
+
 namespace {
 
 using namespace lmp;
@@ -23,7 +26,8 @@ double MixedLatency(double local_fraction, const fabric::LinkProfile& link) {
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  lmp::bench::TraceSidecar sidecar(lmp::bench::Args::Parse(argc, argv));
   std::printf(
       "== Average loaded read latency by deployment (weighted by measured "
       "locality) ==\n");
@@ -58,5 +62,6 @@ int main() {
       "\nAt full locality the gap equals the paper's loaded-latency ratios\n"
       "(2.8x on Link0, 3.6x on Link1, Section 4.3); it narrows as the\n"
       "working set outgrows the runner's shared region.\n");
+  sidecar.Flush();
   return 0;
 }

@@ -7,16 +7,27 @@
 
 #include "common/table.h"
 #include "common/logging.h"
+#include "common/trace.h"
 #include "fabric/pbr_switch.h"
 #include "sim/stream.h"
+
+#include "args.h"
+#include "trace_sidecar.h"
 
 namespace {
 
 using namespace lmp;
 
 double PullBandwidth(int servers_per_rack, BytesPerSec trunk,
-                     bool cross_rack) {
+                     bool cross_rack,
+                     trace::TraceCollector* trace = nullptr) {
   sim::FluidSimulator sim;
+  if (trace != nullptr) {
+    trace->BeginProcess(std::string(cross_rack ? "cross-rack" : "same-rack") +
+                        "-trunk" + std::to_string(static_cast<int>(trunk)));
+    trace->set_clock([&sim] { return sim.now(); });
+    sim.set_trace(trace);
+  }
   auto topo = fabric::MakeDualRack(&sim, servers_per_rack, GBps(34.5),
                                    trunk);
   // Every rack-0 server pulls 8 GB from a distinct peer.
@@ -35,18 +46,21 @@ double PullBandwidth(int servers_per_rack, BytesPerSec trunk,
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  lmp::bench::TraceSidecar sidecar(lmp::bench::Args::Parse(argc, argv));
   std::printf(
       "== Dual-rack logical pool: 4 pullers per rack, PBR fabric ==\n");
   TablePrinter table({"Traffic pattern", "Trunk", "Aggregate GB/s"});
   for (const double trunk_gbps : {34.5, 138.0}) {
     table.AddRow({"same-rack peers", TablePrinter::Num(trunk_gbps) + " GB/s",
                   TablePrinter::Num(
-                      PullBandwidth(4, GBps(trunk_gbps), false))});
+                      PullBandwidth(4, GBps(trunk_gbps), false,
+                                    sidecar.collector()))});
     table.AddRow({"cross-rack peers",
                   TablePrinter::Num(trunk_gbps) + " GB/s",
                   TablePrinter::Num(
-                      PullBandwidth(4, GBps(trunk_gbps), true))});
+                      PullBandwidth(4, GBps(trunk_gbps), true,
+                                    sidecar.collector()))});
   }
   table.Print();
   std::printf(
@@ -54,5 +68,6 @@ int main() {
       "funnels through the trunk unless it is provisioned ~Nx — so a\n"
       "rack-scale LMP's sizing/migration policies should treat rack\n"
       "locality as a second tier (Sections 2.2, 5).\n");
+  sidecar.Flush();
   return 0;
 }

@@ -7,7 +7,11 @@
 #include "baselines/logical.h"
 #include "common/table.h"
 
-int main() {
+#include "args.h"
+#include "trace_sidecar.h"
+
+int main(int argc, char** argv) {
+  lmp::bench::TraceSidecar sidecar(lmp::bench::Args::Parse(argc, argv));
   using namespace lmp;
   std::printf(
       "== Section 4.4: computation shipping on the logical pool ==\n");
@@ -40,5 +44,6 @@ int main() {
       "num_servers x 97 GB/s regardless of link speed, while the pull is\n"
       "bottlenecked by the runner's fabric port. Physical pools cannot do\n"
       "this without adding compute hardware to the pool box (Section 4.4).\n");
+  sidecar.Flush();
   return 0;
 }

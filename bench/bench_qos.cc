@@ -7,9 +7,13 @@
 
 #include "common/logging.h"
 #include "common/table.h"
+#include "common/trace.h"
 #include "fabric/topology.h"
 #include "sim/fluid.h"
 #include "sim/stream.h"
+
+#include "args.h"
+#include "trace_sidecar.h"
 
 namespace {
 
@@ -20,8 +24,15 @@ struct TenantResult {
   double batch_gbps;
 };
 
-TenantResult Run(double vip_weight) {
+TenantResult Run(double vip_weight,
+                 trace::TraceCollector* trace = nullptr) {
   sim::FluidSimulator sim;
+  if (trace != nullptr) {
+    trace->BeginProcess("vip-weight-" +
+                        std::to_string(static_cast<int>(vip_weight)));
+    trace->set_clock([&sim] { return sim.now(); });
+    sim.set_trace(trace);
+  }
   auto topo =
       fabric::Topology::MakeLogical(&sim, 2, fabric::LinkProfile::Link0());
   // Both tenants on server 0, each with 7 cores, pulling from server 1.
@@ -56,14 +67,15 @@ TenantResult Run(double vip_weight) {
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  lmp::bench::TraceSidecar sidecar(lmp::bench::Args::Parse(argc, argv));
   std::printf(
       "== Tenant QoS: two 7-core tenants share one 34.5 GB/s fabric port "
       "==\n");
   TablePrinter table({"VIP weight", "VIP GB/s", "Batch GB/s",
                       "VIP share"});
   for (const double w : {1.0, 2.0, 4.0, 8.0}) {
-    const TenantResult r = Run(w);
+    const TenantResult r = Run(w, sidecar.collector());
     table.AddRow({TablePrinter::Num(w, 0), TablePrinter::Num(r.vip_gbps),
                   TablePrinter::Num(r.batch_gbps),
                   TablePrinter::Num(
@@ -75,5 +87,6 @@ int main() {
       "\nWeighted max-min sharing is the enforcement half of §5's\n"
       "'prioritizing high-value applications': the sizing optimizer plans\n"
       "by priority, the fabric shares by weight.\n");
+  sidecar.Flush();
   return 0;
 }

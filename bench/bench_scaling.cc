@@ -11,12 +11,22 @@
 #include "fabric/topology.h"
 #include "sim/stream.h"
 
+#include "common/trace.h"
+
+#include "args.h"
+#include "trace_sidecar.h"
+
 namespace {
 
 using namespace lmp;
 
-double DistributedLocalSum(int servers) {
+double DistributedLocalSum(int servers, trace::TraceCollector* trace = nullptr) {
   sim::FluidSimulator sim;
+  if (trace != nullptr) {
+    trace->BeginProcess("shipped-local-" + std::to_string(servers));
+    trace->set_clock([&sim] { return sim.now(); });
+    sim.set_trace(trace);
+  }
   auto topo = fabric::Topology::MakeLogical(&sim, servers,
                                             fabric::LinkProfile::Link1());
   std::vector<std::unique_ptr<sim::SpanStream>> streams;
@@ -32,8 +42,13 @@ double DistributedLocalSum(int servers) {
   return sim::RunStreams(&sim, std::move(streams)).gbps;
 }
 
-double AllRemoteRing(int servers) {
+double AllRemoteRing(int servers, trace::TraceCollector* trace = nullptr) {
   sim::FluidSimulator sim;
+  if (trace != nullptr) {
+    trace->BeginProcess("all-remote-ring-" + std::to_string(servers));
+    trace->set_clock([&sim] { return sim.now(); });
+    sim.set_trace(trace);
+  }
   auto topo = fabric::Topology::MakeLogical(&sim, servers,
                                             fabric::LinkProfile::Link1());
   std::vector<std::unique_ptr<sim::SpanStream>> streams;
@@ -52,7 +67,8 @@ double AllRemoteRing(int servers) {
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  lmp::bench::TraceSidecar sidecar(lmp::bench::Args::Parse(argc, argv));
   std::printf(
       "== Scaling: aggregate bandwidth vs server count (Link1) ==\n");
   TablePrinter table({"Servers", "Pooled memory", "Shipped-local GB/s",
@@ -60,13 +76,14 @@ int main() {
   for (const int servers : {2, 4, 8, 16}) {
     table.AddRow({std::to_string(servers),
                   std::to_string(servers * 24) + " GiB",
-                  TablePrinter::Num(DistributedLocalSum(servers)),
-                  TablePrinter::Num(AllRemoteRing(servers))});
+                  TablePrinter::Num(DistributedLocalSum(servers, sidecar.collector())),
+                  TablePrinter::Num(AllRemoteRing(servers, sidecar.collector()))});
   }
   table.Print();
   std::printf(
       "\nBoth patterns scale linearly with servers — there is no central\n"
       "pool box to saturate.  A physical pool's aggregate is pinned at its\n"
       "port provisioning regardless of server count (cf. bench_incast).\n");
+  sidecar.Flush();
   return 0;
 }

@@ -9,10 +9,15 @@
 
 #include "common/logging.h"
 #include "common/table.h"
+#include "common/trace.h"
 #include "core/task_scheduler.h"
 #include "fabric/topology.h"
 
-int main() {
+#include "args.h"
+#include "trace_sidecar.h"
+
+int main(int argc, char** argv) {
+  lmp::bench::TraceSidecar sidecar(lmp::bench::Args::Parse(argc, argv));
   using namespace lmp;
   std::printf(
       "== Shipped execution: 96 GiB reduction, 4 servers x 14 slots ==\n");
@@ -21,6 +26,11 @@ int main() {
 
   for (const double ns_per_byte : {0.0, 0.005, 0.02, 0.1, 0.5}) {
     sim::FluidSimulator sim;
+    if (auto* tc = sidecar.collector()) {
+      tc->BeginProcess("ns-per-byte-" + std::to_string(ns_per_byte));
+      tc->set_clock([&sim] { return sim.now(); });
+      sim.set_trace(tc);
+    }
     auto topo = fabric::Topology::MakeLogical(
         &sim, 4, fabric::LinkProfile::Link1());
     core::TaskScheduler scheduler(&sim, &topo);
@@ -53,5 +63,6 @@ int main() {
       "DRAM bandwidth (the §4.4 result); at high intensity the win is the\n"
       "56 CPUs themselves — hardware a physical pool box would have to\n"
       "add, 'exacerbating its cost' (Section 4.4).\n");
+  sidecar.Flush();
   return 0;
 }

@@ -9,7 +9,11 @@
 #include "common/table.h"
 #include "fabric/cxl.h"
 
-int main() {
+#include "args.h"
+#include "trace_sidecar.h"
+
+int main(int argc, char** argv) {
+  lmp::bench::TraceSidecar sidecar(lmp::bench::Args::Parse(argc, argv));
   using namespace lmp;
   constexpr std::uint64_t kFilterLines = 32 * 1024;  // 2 MiB of 64B lines
   constexpr int kHosts = 4;
@@ -52,5 +56,6 @@ int main() {
       "every access evicts a tracked line — hardware coherence stops\n"
       "scaling, which is why LMPs keep the coherent region to a few GBs\n"
       "and run the bulk of the pool non-coherent (Section 3.2).\n");
+  sidecar.Flush();
   return 0;
 }

@@ -7,7 +7,11 @@
 #include "baselines/software_swap.h"
 #include "common/table.h"
 
-int main() {
+#include "args.h"
+#include "trace_sidecar.h"
+
+int main(int argc, char** argv) {
+  lmp::bench::TraceSidecar sidecar(lmp::bench::Args::Parse(argc, argv));
   using namespace lmp;
   std::printf(
       "== Software (paging) vs hardware (CXL load/store) disaggregation "
@@ -46,5 +50,6 @@ int main() {
       swap.ResidentReadLatency(), swap.SwappedReadLatency(),
       swap.SwappedReadLatency() / swap.ResidentReadLatency(),
       fabric::LinkProfile::Link0().LoadedLatency(0));
+  sidecar.Flush();
   return 0;
 }

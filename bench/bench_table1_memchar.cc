@@ -10,14 +10,25 @@
 #include "sim/fluid.h"
 #include "sim/stream.h"
 
+#include "common/trace.h"
+
+#include "args.h"
+#include "trace_sidecar.h"
+
 namespace {
 
 using namespace lmp;
 
 // Saturating 14-core stream against one device behind `device_bw`, reached
 // through a per-direction port of `port_bw` (0 = direct local access).
-double MeasureBandwidth(BytesPerSec device_bw, BytesPerSec port_bw) {
+double MeasureBandwidth(BytesPerSec device_bw, BytesPerSec port_bw,
+                        trace::TraceCollector* trace = nullptr) {
   sim::FluidSimulator sim;
+  if (trace != nullptr) {
+    trace->BeginProcess("bw-" + std::to_string(static_cast<int>(device_bw)));
+    trace->set_clock([&sim] { return sim.now(); });
+    sim.set_trace(trace);
+  }
   const auto device = sim.AddResource("device", device_bw);
   std::vector<sim::ResourceId> path_tail{device};
   if (port_bw > 0) {
@@ -35,7 +46,8 @@ double MeasureBandwidth(BytesPerSec device_bw, BytesPerSec port_bw) {
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  lmp::bench::TraceSidecar sidecar(lmp::bench::Args::Parse(argc, argv));
   std::printf(
       "== Table 1: latency and bandwidth for different memory types ==\n");
   TablePrinter table({"Memory type", "Latency (ns)", "Bandwidth (GB/s)",
@@ -44,21 +56,21 @@ int main() {
   const auto local = fabric::LinkProfile::LocalDram();
   table.AddRow({"Local memory",
                 TablePrinter::Num(local.LoadedLatency(0), 0),
-                TablePrinter::Num(MeasureBandwidth(local.bandwidth, 0), 0),
+                TablePrinter::Num(MeasureBandwidth(local.bandwidth, 0, sidecar.collector()), 0),
                 "82", "97"});
 
   const auto pond = fabric::LinkProfile::PondCxl();
   table.AddRow({"CXL remote (Pond)",
                 TablePrinter::Num(pond.LoadedLatency(0), 0),
                 TablePrinter::Num(
-                    MeasureBandwidth(local.bandwidth, pond.bandwidth), 0),
+                    MeasureBandwidth(local.bandwidth, pond.bandwidth, sidecar.collector()), 0),
                 "280", "31"});
 
   const auto fpga = fabric::LinkProfile::FpgaCxl();
   table.AddRow({"CXL remote (FPGA)",
                 TablePrinter::Num(fpga.LoadedLatency(0), 0),
                 TablePrinter::Num(
-                    MeasureBandwidth(local.bandwidth, fpga.bandwidth), 0),
+                    MeasureBandwidth(local.bandwidth, fpga.bandwidth, sidecar.collector()), 0),
                 "303", "20"});
   table.Print();
 
@@ -69,5 +81,6 @@ int main() {
       local.bandwidth / pond.bandwidth, local.bandwidth / fpga.bandwidth,
       pond.LoadedLatency(0) / local.LoadedLatency(0),
       fpga.LoadedLatency(0) / local.LoadedLatency(0));
+  sidecar.Flush();
   return 0;
 }

@@ -13,6 +13,11 @@
 #include "sim/fluid.h"
 #include "sim/stream.h"
 
+#include "common/trace.h"
+
+#include "args.h"
+#include "trace_sidecar.h"
+
 namespace {
 
 using namespace lmp;
@@ -23,8 +28,14 @@ struct LinkMeasurement {
   double bandwidth_gbps;
 };
 
-LinkMeasurement Measure(const fabric::LinkProfile& link) {
+LinkMeasurement Measure(const fabric::LinkProfile& link,
+                        trace::TraceCollector* trace = nullptr) {
   sim::FluidSimulator sim;
+  if (trace != nullptr) {
+    trace->BeginProcess(std::string(link.name));
+    trace->set_clock([&sim] { return sim.now(); });
+    sim.set_trace(trace);
+  }
   auto topo = fabric::Topology::MakeLogical(&sim, 2, link);
 
   LinkMeasurement m{};
@@ -51,7 +62,8 @@ LinkMeasurement Measure(const fabric::LinkProfile& link) {
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  lmp::bench::TraceSidecar sidecar(lmp::bench::Args::Parse(argc, argv));
   std::printf("== Table 2: emulated CXL link characterization ==\n");
   TablePrinter table({"Remote link", "Min lat", "Max lat", "Bandwidth",
                       "Paper min/max/bw"});
@@ -59,7 +71,7 @@ int main() {
   int idx = 0;
   for (const auto& link :
        {fabric::LinkProfile::Link0(), fabric::LinkProfile::Link1()}) {
-    const LinkMeasurement m = Measure(link);
+    const LinkMeasurement m = Measure(link, sidecar.collector());
     max_loaded[idx++] = m.max_latency_ns;
     const std::string paper =
         link.name == "Link0" ? "163ns / 418ns / 34.5GB/s"
@@ -92,5 +104,6 @@ int main() {
       "Link1 %.1fx (paper 3.6x)\n",
       local_loaded, max_loaded[0] / local_loaded,
       max_loaded[1] / local_loaded);
+  sidecar.Flush();
   return 0;
 }

@@ -64,6 +64,12 @@ Status FaultInjector::SchedulePlan(const FaultPlan& plan) {
 }
 
 Status FaultInjector::Apply(const FaultEvent& event) {
+  const Status st = Dispatch(event);
+  if (st.ok() && listener_) listener_(event);
+  return st;
+}
+
+Status FaultInjector::Dispatch(const FaultEvent& event) {
   switch (event.kind) {
     case FaultKind::kServerCrash:
       if (event.servers.size() != 1) {

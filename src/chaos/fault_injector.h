@@ -21,6 +21,7 @@
 #pragma once
 
 #include <cstdint>
+#include <functional>
 #include <unordered_map>
 #include <vector>
 
@@ -118,6 +119,15 @@ class FaultInjector {
   void set_metrics(MetricsRegistry* registry);
   const InjectorOptions& options() const { return options_; }
 
+  // Invoked after every successfully applied event (flaps notify once when
+  // their degrade/restore pairs are scheduled).  The control plane
+  // subscribes here to trigger out-of-band re-solves on crash/recover.
+  // One listener; setting replaces the previous one.
+  using EventListener = std::function<void(const FaultEvent&)>;
+  void set_event_listener(EventListener listener) {
+    listener_ = std::move(listener);
+  }
+
  private:
   struct WatchedBuffer {
     Bytes size = 0;
@@ -127,6 +137,7 @@ class FaultInjector {
     bool ever_affected = false;
   };
 
+  Status Dispatch(const FaultEvent& event);
   Status ApplyCrash(cluster::ServerId server);
   Status ApplyRecover(cluster::ServerId server);
   Status ApplyDegrade(const FaultEvent& event);
@@ -179,6 +190,7 @@ class FaultInjector {
 
   trace::TraceCollector* trace_ = nullptr;
   MetricsRegistry* metrics_ = &MetricsRegistry::Global();
+  EventListener listener_;
 };
 
 }  // namespace lmp::chaos

@@ -114,6 +114,8 @@ std::string_view CategoryName(Category cat) {
       return "harness";
     case Category::kChaos:
       return "chaos";
+    case Category::kCtrl:
+      return "ctrl";
   }
   return "unknown";
 }

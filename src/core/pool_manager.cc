@@ -551,6 +551,66 @@ StatusOr<MigrationRecord> PoolManager::MigrateSegment(SegmentId seg,
   return MigrationRecord{seg, from, to, info->size};
 }
 
+StatusOr<MigrationRecord> PoolManager::CompactSegment(SegmentId seg,
+                                                      Bytes bound_bytes) {
+  SegmentInfo* info = segments_.FindMutable(seg);
+  if (info == nullptr) return NotFoundError("unknown segment");
+  if (info->state != SegmentState::kActive) {
+    return FailedPreconditionError("segment not active");
+  }
+  if (info->home.is_pool()) {
+    return FailedPreconditionError("pool-homed segments have no shrink cut");
+  }
+  auto& srv = cluster_->server(info->home.server);
+  if (srv.crashed()) return UnavailableError("home crashed");
+
+  const Bytes frame_size = cluster_->config().frame_size;
+  const mem::FrameNumber bound =
+      static_cast<mem::FrameNumber>(bound_bytes / frame_size);
+  const Location home = info->home;
+  LMP_ASSIGN_OR_RETURN(auto src_runs, local_map(home).RunsOf(seg));
+  bool past_cut = false;
+  for (const auto& r : src_runs) {
+    if (r.end() > bound) {
+      past_cut = true;
+      break;
+    }
+  }
+  if (!past_cut) return MigrationRecord{seg, home, home, /*bytes=*/0};
+
+  const std::uint64_t frames = mem::FramesForBytes(info->size, frame_size);
+  LMP_ASSIGN_OR_RETURN(auto dst_runs,
+                       srv.shared_allocator().AllocateBelow(frames, bound));
+
+  info->state = SegmentState::kMigrating;
+  const Status st =
+      CopySegmentData(seg, home, src_runs, home, dst_runs, info->size);
+  if (!st.ok()) {
+    info->state = SegmentState::kActive;
+    LMP_CHECK_OK(FreeFramesAt(home, dst_runs));
+    return st;
+  }
+  // Commit: rebind to the packed frames, free the stragglers.  The home is
+  // unchanged but the generation still bumps — cached translations may
+  // have resolved frame-level addresses that just moved.
+  LMP_CHECK_OK(local_map(home).Unbind(seg));
+  LMP_CHECK_OK(local_map(home).Bind(seg, info->size, dst_runs));
+  info->state = SegmentState::kActive;
+  ++info->generation;
+  LMP_CHECK_OK(FreeFramesAt(home, src_runs));
+
+  metrics_->Increment("lmp.compact.segments");
+  metrics_->Increment("lmp.compact.bytes", info->size);
+  if (trace_ != nullptr) {
+    trace_->Instant(trace::Category::kMigration, "compact_segment",
+                    trace_->now(),
+                    {trace::Arg("segment", seg),
+                     trace::Arg("home", LocationLabel(home)),
+                     trace::Arg("bytes", info->size)});
+  }
+  return MigrationRecord{seg, home, home, info->size};
+}
+
 StatusOr<std::vector<SegmentId>> PoolManager::OnServerCrash(
     cluster::ServerId server) {
   if (server >= static_cast<cluster::ServerId>(cluster_->num_servers())) {

@@ -144,6 +144,17 @@ class PoolManager {
   StatusOr<MigrationRecord> MigrateSegment(SegmentId seg,
                                            cluster::ServerId dst);
 
+  // Moves `seg`'s frames below the `bound_bytes` cut on its CURRENT home
+  // server — the intra-server half of a drain.  A shrink can be blocked by
+  // pure fragmentation (live frames past the cut while the region below it
+  // has room); compaction unblocks it without exiling the segment to a
+  // peer, which matters when the draining server is also the segment's
+  // dominant accessor.  Returns a record with from == to; bytes == 0 when
+  // the segment already sat below the cut.  kOutOfMemory when the region
+  // below the cut cannot hold it; kFailedPrecondition for pool-homed or
+  // busy segments.
+  StatusOr<MigrationRecord> CompactSegment(SegmentId seg, Bytes bound_bytes);
+
   // Splits one segment of `buffer` at `offset` bytes into its owning
   // segment, producing two adjacent segments with the same combined
   // contents and locations.  Buffer addresses, spans, and data are

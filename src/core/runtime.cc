@@ -24,7 +24,7 @@ void LmpRuntime::RunSizing() {
   const SizingPlan plan =
       SizingOptimizer::Solve(manager_->cluster(), std::move(demands));
   stats_.sizing_deferred +=
-      SizingOptimizer::Apply(manager_->cluster(), plan);
+      SizingOptimizer::Apply(manager_->cluster(), plan).deferred_count();
   ++stats_.sizing_rounds;
 }
 
@@ -50,6 +50,38 @@ std::vector<MigrationRecord> LmpRuntime::Tick(SimTime now) {
   return records;
 }
 
+std::vector<DrainVictim> BlockedResidents(PoolManager& manager,
+                                          cluster::ServerId server,
+                                          Bytes target_bytes, SimTime now) {
+  // The shrink is blocked by segments holding frames in the region being
+  // removed (the allocator trims from the tail).  Those — and only those —
+  // must leave; evict coldest first.
+  const std::uint64_t target_frames = mem::FramesForBytes(
+      target_bytes, manager.cluster().server(server).frame_size());
+  std::vector<DrainVictim> residents;
+  const Location here = Location::OnServer(server);
+  manager.segment_map().ForEach([&](const SegmentInfo& info) {
+    if (info.home != here || info.state != SegmentState::kActive) return;
+    auto runs_or = manager.local_map(here).RunsOf(info.id);
+    if (!runs_or.ok()) return;
+    for (const mem::FrameRun& run : runs_or.value()) {
+      if (run.end() > target_frames) {
+        residents.push_back(DrainVictim{
+            info.id, info.size,
+            manager.access_tracker().TotalBytes(info.id, now)});
+        return;
+      }
+    }
+  });
+  // Tie-break on segment id: ForEach order is hash-map order, and the drain
+  // sequence feeds deterministic traces.
+  std::sort(residents.begin(), residents.end(),
+            [](const DrainVictim& a, const DrainVictim& b) {
+              return a.heat == b.heat ? a.seg < b.seg : a.heat < b.heat;
+            });
+  return residents;
+}
+
 StatusOr<std::vector<MigrationRecord>> LmpRuntime::DrainServer(
     cluster::ServerId server, Bytes target_bytes, SimTime now) {
   auto& cluster = manager_->cluster();
@@ -59,37 +91,9 @@ StatusOr<std::vector<MigrationRecord>> LmpRuntime::DrainServer(
   // Shrink may already be possible.
   if (srv.ResizeShared(target_bytes).ok()) return records;
 
-  // The shrink is blocked by segments holding frames in the region being
-  // removed (the allocator trims from the tail).  Those — and only those —
-  // must leave; evict coldest first.
-  const std::uint64_t target_frames =
-      mem::FramesForBytes(target_bytes, srv.frame_size());
-  struct Resident {
-    SegmentId seg;
-    Bytes size;
-    double heat;
-  };
-  std::vector<Resident> residents;
-  const Location here = Location::OnServer(server);
-  manager_->segment_map().ForEach([&](const SegmentInfo& info) {
-    if (info.home != here || info.state != SegmentState::kActive) return;
-    auto runs_or = manager_->local_map(here).RunsOf(info.id);
-    if (!runs_or.ok()) return;
-    for (const mem::FrameRun& run : runs_or.value()) {
-      if (run.end() > target_frames) {
-        residents.push_back(Resident{
-            info.id, info.size,
-            manager_->access_tracker().TotalBytes(info.id, now)});
-        return;
-      }
-    }
-  });
-  std::sort(residents.begin(), residents.end(),
-            [](const Resident& a, const Resident& b) {
-              return a.heat < b.heat;
-            });
-
-  for (const Resident& r : residents) {
+  const std::vector<DrainVictim> residents =
+      BlockedResidents(*manager_, server, target_bytes, now);
+  for (const DrainVictim& r : residents) {
     // Move to the live peer with the most free shared capacity.
     cluster::ServerId best = server;
     Bytes best_free = 0;

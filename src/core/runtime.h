@@ -18,6 +18,22 @@
 
 namespace lmp::core {
 
+// A segment whose frames block a shared-region shrink (it holds at least
+// one frame in the tail the resize would remove).
+struct DrainVictim {
+  SegmentId seg = kInvalidSegment;
+  Bytes size = 0;
+  double heat = 0;  // decayed traffic at selection time
+};
+
+// The active segments blocking a shrink of `server` to `target_bytes`,
+// coldest first (they are the cheapest to lose locality on).  Empty when
+// the shrink is already possible.  Shared by LmpRuntime::DrainServer and
+// the ctrl-plane drain scheduler.
+std::vector<DrainVictim> BlockedResidents(PoolManager& manager,
+                                          cluster::ServerId server,
+                                          Bytes target_bytes, SimTime now);
+
 struct RuntimeConfig {
   SimTime migration_period = Milliseconds(10);
   SimTime sizing_period = Milliseconds(100);

@@ -85,22 +85,33 @@ SizingPlan SizingOptimizer::Solve(const cluster::Cluster& cluster,
   return plan;
 }
 
-int SizingOptimizer::Apply(cluster::Cluster& cluster, const SizingPlan& plan) {
-  int deferred = 0;
+SizingApplyResult SizingOptimizer::Apply(cluster::Cluster& cluster,
+                                         const SizingPlan& plan) {
+  SizingApplyResult result;
   for (const auto& e : plan.entries) {
     auto& srv = cluster.server(e.server);
     if (srv.crashed()) {
-      ++deferred;
+      result.deferred.push_back(SizingApplyResult::DeferredShrink{
+          e.server, srv.shared_bytes(), e.shared_bytes, 0, /*crashed=*/true});
       continue;
     }
     const Status st = srv.ResizeShared(e.shared_bytes);
     if (!st.ok()) {
-      // Shrink blocked by live frames: leave as-is; the migrator drains
-      // them and a later round retries.
-      ++deferred;
+      // Shrink blocked by live frames: leave as-is and report the stranded
+      // bytes so the control plane can drain them and retry.
+      const std::uint64_t target_frames =
+          mem::FramesForBytes(e.shared_bytes, srv.frame_size());
+      const Bytes stranded =
+          srv.shared_allocator().AllocatedFramesFrom(target_frames) *
+          srv.frame_size();
+      result.deferred.push_back(SizingApplyResult::DeferredShrink{
+          e.server, srv.shared_bytes(), e.shared_bytes, stranded,
+          /*crashed=*/false});
+      continue;
     }
+    ++result.applied;
   }
-  return deferred;
+  return result;
 }
 
 }  // namespace lmp::core

@@ -50,6 +50,24 @@ struct SizingPlan {
   double LocalFraction() const;
 };
 
+// What SizingOptimizer::Apply actually did.  Deferred shrinks are reported
+// structurally — which server, how far it is from the plan, and how many
+// bytes of live frames stand in the way — so a control loop can schedule
+// the drain that unblocks them instead of guessing from a bare count.
+struct SizingApplyResult {
+  struct DeferredShrink {
+    cluster::ServerId server = 0;
+    Bytes current_bytes = 0;   // size the server was left at
+    Bytes target_bytes = 0;    // size the plan wanted
+    Bytes stranded_bytes = 0;  // allocated bytes in the would-be-removed tail
+    bool crashed = false;      // skipped because the server is down
+  };
+  int applied = 0;  // resizes that landed
+  std::vector<DeferredShrink> deferred;
+
+  int deferred_count() const { return static_cast<int>(deferred.size()); }
+};
+
 class SizingOptimizer {
  public:
   // `total_memory` per server comes from the cluster; demands from the
@@ -58,9 +76,10 @@ class SizingOptimizer {
                           std::vector<ServerDemand> demands);
 
   // Applies a plan.  Per-server shrink failures (live frames in the way)
-  // leave that server at its current size; the count of deferred servers is
-  // returned.
-  static int Apply(cluster::Cluster& cluster, const SizingPlan& plan);
+  // and crashed servers leave that server at its current size; each such
+  // deferral is reported with the stranded byte count a drain must move.
+  static SizingApplyResult Apply(cluster::Cluster& cluster,
+                                 const SizingPlan& plan);
 };
 
 }  // namespace lmp::core

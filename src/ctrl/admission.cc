@@ -1,0 +1,230 @@
+#include "ctrl/admission.h"
+
+#include <algorithm>
+#include <limits>
+
+#include "common/logging.h"
+#include "common/trace.h"
+
+namespace lmp::ctrl {
+
+std::string_view LeaseStateName(LeaseState state) {
+  switch (state) {
+    case LeaseState::kActive:
+      return "active";
+    case LeaseState::kQueued:
+      return "queued";
+    case LeaseState::kReleased:
+      return "released";
+  }
+  return "unknown";
+}
+
+AdmissionController::AdmissionController(Bytes capacity)
+    : capacity_(capacity) {}
+
+void AdmissionController::set_metrics(MetricsRegistry* registry) {
+  LMP_CHECK(registry != nullptr);
+  metrics_ = registry;
+}
+
+void AdmissionController::set_trace(trace::TraceCollector* collector,
+                                    std::function<SimTime()> clock) {
+  trace_ = collector;
+  clock_ = std::move(clock);
+}
+
+Bytes AdmissionController::active_bytes() const {
+  Bytes sum = 0;
+  for (const auto& [id, lease] : leases_) {
+    if (lease.state == LeaseState::kActive) sum += lease.spec.bytes;
+  }
+  return sum;
+}
+
+Bytes AdmissionController::queued_bytes() const {
+  Bytes sum = 0;
+  for (const auto& [id, lease] : leases_) {
+    if (lease.state == LeaseState::kQueued) sum += lease.spec.bytes;
+  }
+  return sum;
+}
+
+Bytes AdmissionController::headroom() const {
+  const Bytes committed = organic_ + active_bytes();
+  return committed >= capacity_ ? 0 : capacity_ - committed;
+}
+
+void AdmissionController::Emit(std::string_view what, const Lease& lease) {
+  if (trace_ == nullptr) return;
+  const SimTime now = clock_ ? clock_() : 0;
+  trace_->Instant(trace::Category::kCtrl, what, now,
+                  {trace::Arg("lease", lease.id),
+                   trace::Arg("tenant", lease.spec.name),
+                   trace::Arg("bytes", lease.spec.bytes),
+                   trace::Arg("priority", lease.spec.priority),
+                   trace::Arg("state", LeaseStateName(lease.state))});
+}
+
+bool AdmissionController::Activate(Lease& lease) {
+  if (lease.spec.bytes > headroom()) return false;
+  lease.state = LeaseState::kActive;
+  lease.server = hint_ ? hint_(lease.spec)
+                       : lease.spec.preferred.value_or(0);
+  return true;
+}
+
+void AdmissionController::PreemptToFit(Bytes needed, double above_priority) {
+  // Cheapest victims first: lowest priority, then most recently admitted
+  // (the longest-standing lease of a given priority is preempted last).
+  std::vector<Lease*> victims;
+  for (auto& [id, lease] : leases_) {
+    if (lease.state == LeaseState::kActive &&
+        lease.spec.priority < above_priority) {
+      victims.push_back(&lease);
+    }
+  }
+  std::sort(victims.begin(), victims.end(), [](const Lease* a,
+                                               const Lease* b) {
+    return a->spec.priority == b->spec.priority
+               ? a->id > b->id
+               : a->spec.priority < b->spec.priority;
+  });
+  Bytes freed = 0;
+  for (Lease* v : victims) {
+    if (freed >= needed) break;
+    v->state = LeaseState::kQueued;
+    freed += v->spec.bytes;
+    ++stats_.preempted;
+    metrics_->Increment("ctrl.admission.preempted");
+    Emit("lease_preempted", *v);
+  }
+}
+
+void AdmissionController::PromoteQueued() {
+  // Highest priority first, then arrival (id) order.  Any queued lease
+  // that fits the remaining headroom activates — a small low-priority
+  // tenant is not held hostage behind a large high-priority one.
+  std::vector<Lease*> waiting;
+  for (auto& [id, lease] : leases_) {
+    if (lease.state == LeaseState::kQueued) waiting.push_back(&lease);
+  }
+  std::sort(waiting.begin(), waiting.end(), [](const Lease* a,
+                                               const Lease* b) {
+    return a->spec.priority == b->spec.priority
+               ? a->id < b->id
+               : a->spec.priority > b->spec.priority;
+  });
+  for (Lease* lease : waiting) {
+    if (Activate(*lease)) {
+      ++stats_.promoted;
+      metrics_->Increment("ctrl.admission.promoted");
+      Emit("lease_promoted", *lease);
+    }
+  }
+  ExportGauges();
+}
+
+StatusOr<Lease> AdmissionController::RequestAdmission(const TenantSpec& spec) {
+  ++stats_.requests;
+  metrics_->Increment("ctrl.admission.requests");
+  if (spec.bytes == 0) return InvalidArgumentError("lease of zero bytes");
+  if (spec.bytes > capacity_) {
+    ++stats_.rejected;
+    metrics_->Increment("ctrl.admission.rejected");
+    return OutOfMemoryError("tenant '" + spec.name + "' wants " +
+                            std::to_string(spec.bytes) +
+                            " bytes, deployment capacity is " +
+                            std::to_string(capacity_));
+  }
+
+  Lease lease;
+  lease.id = next_id_++;
+  lease.spec = spec;
+
+  if (!Activate(lease)) {
+    // Full: make room by preempting strictly-lower-priority leases, if
+    // that suffices; otherwise park the request.
+    const Bytes room = headroom();
+    Bytes preemptable = 0;
+    for (const auto& [id, other] : leases_) {
+      if (other.state == LeaseState::kActive &&
+          other.spec.priority < spec.priority) {
+        preemptable += other.spec.bytes;
+      }
+    }
+    if (room + preemptable >= spec.bytes) {
+      PreemptToFit(spec.bytes - room, spec.priority);
+      LMP_CHECK(Activate(lease)) << "preemption freed too little";
+    }
+  }
+
+  if (lease.state == LeaseState::kActive) {
+    ++stats_.admitted;
+    metrics_->Increment("ctrl.admission.admitted");
+    Emit("lease_admitted", lease);
+  } else {
+    ++stats_.queued;
+    metrics_->Increment("ctrl.admission.queued");
+    Emit("lease_queued", lease);
+  }
+  leases_[lease.id] = lease;
+  ExportGauges();
+  return lease;
+}
+
+Status AdmissionController::Release(LeaseId id) {
+  auto it = leases_.find(id);
+  if (it == leases_.end()) return NotFoundError("unknown lease");
+  if (it->second.state == LeaseState::kReleased) {
+    return FailedPreconditionError("lease already released");
+  }
+  it->second.state = LeaseState::kReleased;
+  ++stats_.released;
+  metrics_->Increment("ctrl.admission.released");
+  Emit("lease_released", it->second);
+  PromoteQueued();
+  return Status::Ok();
+}
+
+StatusOr<Lease> AdmissionController::Get(LeaseId id) const {
+  auto it = leases_.find(id);
+  if (it == leases_.end()) return NotFoundError("unknown lease");
+  return it->second;
+}
+
+void AdmissionController::UpdateHeadroom(Bytes capacity,
+                                         Bytes organic_demand) {
+  capacity_ = capacity;
+  organic_ = organic_demand;
+  // Capacity shrank under the active set (a crash, organic growth): shed
+  // leases lowest-priority-first until the rest fit.
+  const Bytes committed = organic_ + active_bytes();
+  if (committed > capacity_) {
+    PreemptToFit(committed - capacity_,
+                 std::numeric_limits<double>::infinity());
+  }
+  PromoteQueued();
+}
+
+std::vector<std::pair<cluster::ServerId, Bytes>>
+AdmissionController::DemandByServer() const {
+  std::map<cluster::ServerId, Bytes> by_server;
+  for (const auto& [id, lease] : leases_) {
+    if (lease.state == LeaseState::kActive) {
+      by_server[lease.server] += lease.spec.bytes;
+    }
+  }
+  return {by_server.begin(), by_server.end()};
+}
+
+void AdmissionController::ExportGauges() {
+  metrics_->SetGauge("ctrl.admission.active_bytes",
+                     static_cast<double>(active_bytes()));
+  metrics_->SetGauge("ctrl.admission.queued_bytes",
+                     static_cast<double>(queued_bytes()));
+  metrics_->SetGauge("ctrl.admission.headroom_bytes",
+                     static_cast<double>(headroom()));
+}
+
+}  // namespace lmp::ctrl

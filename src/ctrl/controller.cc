@@ -1,0 +1,438 @@
+#include "ctrl/controller.h"
+
+#include <algorithm>
+
+#include "common/logging.h"
+#include "common/trace.h"
+
+namespace lmp::ctrl {
+
+SizingController::SizingController(Bindings bindings, ControllerConfig config)
+    : sim_(bindings.sim),
+      manager_(bindings.manager),
+      topology_(bindings.topology),
+      injector_(bindings.injector),
+      config_(config),
+      estimator_(bindings.manager, config.estimator),
+      admission_(0),
+      migrator_(bindings.manager, config.migration) {
+  LMP_CHECK(sim_ != nullptr);
+  LMP_CHECK(manager_ != nullptr);
+  LMP_CHECK(config_.period > 0);
+  LMP_CHECK(config_.cooldown >= 0);
+  cooldown_until_.assign(manager_->cluster().num_servers(), -1.0);
+  admission_.UpdateHeadroom(LeaseCapacity(), 0);
+  admission_.set_placement_hint([this](const TenantSpec& spec) {
+    const cluster::Cluster& cluster = manager_->cluster();
+    if (spec.preferred.has_value() &&
+        *spec.preferred < static_cast<cluster::ServerId>(
+                              cluster.num_servers()) &&
+        !cluster.server(*spec.preferred).crashed()) {
+      return *spec.preferred;
+    }
+    // Live server with the most free shared bytes, lowest id on ties.
+    cluster::ServerId best = 0;
+    Bytes best_free = 0;
+    bool found = false;
+    for (int s = 0; s < cluster.num_servers(); ++s) {
+      const auto id = static_cast<cluster::ServerId>(s);
+      if (cluster.server(id).crashed()) continue;
+      const Bytes free = cluster.server(id).shared_allocator().free_bytes();
+      if (!found || free > best_free) {
+        best = id;
+        best_free = free;
+        found = true;
+      }
+    }
+    return best;
+  });
+  if (injector_ != nullptr) {
+    injector_->set_event_listener([this](const chaos::FaultEvent& event) {
+      if (!running_) return;
+      switch (event.kind) {
+        case chaos::FaultKind::kServerCrash:
+        case chaos::FaultKind::kServerRecover:
+        case chaos::FaultKind::kRackFail:
+          // Defer through a zero-delay timer: the injector is mid-Apply
+          // (possibly inside its own timer callback) and the re-solve
+          // must not run from inside its call stack.
+          sim_->ScheduleAfter(0, [this](SimTime t) {
+            if (!running_) return;
+            ++stats_.oob_resolves;
+            metrics_->Increment("ctrl.oob_resolves");
+            RunEpoch(t, /*out_of_band=*/true);
+          });
+          break;
+        default:
+          break;  // link events change rates, not capacity
+      }
+    });
+  }
+}
+
+void SizingController::set_metrics(MetricsRegistry* registry) {
+  LMP_CHECK(registry != nullptr);
+  metrics_ = registry;
+  admission_.set_metrics(registry);
+}
+
+Bytes SizingController::LeaseCapacity() const {
+  // Best-case bytes the pool could dedicate to leases: live servers' DRAM
+  // minus their private floors.  Organic demand is subtracted dynamically
+  // via UpdateHeadroom.
+  const cluster::Cluster& cluster = manager_->cluster();
+  Bytes capacity = 0;
+  for (int s = 0; s < cluster.num_servers(); ++s) {
+    const auto& srv = cluster.server(static_cast<cluster::ServerId>(s));
+    if (srv.crashed()) continue;
+    capacity += srv.total_memory();
+  }
+  return capacity;
+}
+
+void SizingController::Start() {
+  if (running_) return;
+  running_ = true;
+  metrics_->Increment("ctrl.starts");
+  ScheduleNext();
+}
+
+void SizingController::Stop() { running_ = false; }
+
+void SizingController::ScheduleNext() {
+  if (!running_ || epoch_scheduled_) return;
+  const SimTime next = sim_->now() + config_.period;
+  if (config_.horizon >= 0 && next > config_.horizon) {
+    running_ = false;
+    return;
+  }
+  epoch_scheduled_ = true;
+  sim_->ScheduleAt(next, [this](SimTime t) {
+    epoch_scheduled_ = false;
+    if (!running_) return;
+    RunEpoch(t, /*out_of_band=*/false);
+    ScheduleNext();
+  });
+}
+
+void SizingController::RunEpochNow() {
+  RunEpoch(sim_->now(), /*out_of_band=*/false);
+}
+
+void SizingController::RunEpoch(SimTime now, bool out_of_band) {
+  ++stats_.epochs;
+  metrics_->Increment("ctrl.epochs");
+
+  // (1) Admission refresh: recompute lease capacity (crashes shrink it),
+  // preempt/promote, then feed the active leases to the estimator.
+  admission_.UpdateHeadroom(LeaseCapacity(),
+                            estimator_.SmoothedOrganicDemand());
+  estimator_.ClearLeaseDemands();
+  for (const auto& [server, bytes] : admission_.DemandByServer()) {
+    estimator_.SetLeaseDemand(server, bytes);
+  }
+
+  // (2) Estimate + (3) solve.
+  std::vector<core::ServerDemand> demands = estimator_.Estimate(now);
+  const core::SizingPlan plan =
+      core::SizingOptimizer::Solve(manager_->cluster(), std::move(demands));
+  ++stats_.resolves;
+  metrics_->Increment("ctrl.resolves");
+
+  // (4) Actuate with damping, turning blocked shrinks into drains.
+  Actuate(plan, now);
+
+  // (5) Locality balancing rides the same epoch.
+  if (config_.run_migration) RunMigrationRound(now);
+
+  ExportEpochTelemetry(plan, now);
+  if (trace_ != nullptr) {
+    trace_->Instant(trace::Category::kCtrl,
+                    out_of_band ? "ctrl_oob_epoch" : "ctrl_epoch", now,
+                    {trace::Arg("epoch", stats_.epochs),
+                     trace::Arg("unmet", plan.unmet_demand),
+                     trace::Arg("local_fraction", stats_.last_local_fraction),
+                     trace::Arg("pending_drains",
+                                static_cast<std::uint64_t>(drains_.size()))});
+  }
+}
+
+void SizingController::Actuate(const core::SizingPlan& plan, SimTime now) {
+  // Grows land first: a shrink's drain needs somewhere for the displaced
+  // frames to go, and the grow that creates that room is usually part of
+  // the same plan (the demand that left one server arrived at another).
+  ActuatePass(plan, now, /*grows=*/true);
+  ActuatePass(plan, now, /*grows=*/false);
+}
+
+void SizingController::ActuatePass(const core::SizingPlan& plan, SimTime now,
+                                   bool grows) {
+  cluster::Cluster& cluster = manager_->cluster();
+  for (const auto& entry : plan.entries) {
+    auto& srv = cluster.server(entry.server);
+    if (srv.crashed()) continue;
+    const Bytes current = srv.shared_bytes();
+    const Bytes target = entry.shared_bytes;
+    if (target == current || (target > current) != grows) continue;
+    if (drains_.count(entry.server) > 0) {
+      ++stats_.skipped_draining;
+      metrics_->Increment("ctrl.skipped_draining");
+      continue;
+    }
+    const Bytes delta = target > current ? target - current : current - target;
+    if (delta < config_.min_step) {
+      ++stats_.skipped_small;
+      metrics_->Increment("ctrl.skipped_small");
+      continue;
+    }
+    if (cooldown_until_[entry.server] >= 0 &&
+        now < cooldown_until_[entry.server]) {
+      ++stats_.skipped_cooldown;
+      metrics_->Increment("ctrl.skipped_cooldown");
+      continue;
+    }
+
+    const Status st = srv.ResizeShared(target);
+    if (st.ok()) {
+      if (target > current) {
+        ++stats_.grows;
+        metrics_->Increment("ctrl.grows");
+      } else {
+        ++stats_.shrinks;
+        metrics_->Increment("ctrl.shrinks");
+      }
+      stats_.resize_bytes += delta;
+      metrics_->Increment("ctrl.resize_bytes", delta);
+      cooldown_until_[entry.server] = now + config_.cooldown;
+      if (trace_ != nullptr) {
+        trace_->Instant(trace::Category::kCtrl, "resize", now,
+                        {trace::Arg("server", entry.server),
+                         trace::Arg("from", current),
+                         trace::Arg("to", target)});
+      }
+      continue;
+    }
+    if (IsFailedPrecondition(st)) {
+      // Live frames in the way: the §5 answer is a drain, not a deferral.
+      ++stats_.shrinks_deferred;
+      metrics_->Increment("ctrl.shrinks_deferred");
+      BeginDrain(entry.server, target, now);
+      continue;
+    }
+    // Anything else (bad target) is a solver bug worth surfacing loudly.
+    LMP_CHECK(false) << "resize of server " << entry.server
+                     << " failed: " << st.ToString();
+  }
+}
+
+void SizingController::PriceTransfer(const core::Location& from,
+                                     const core::Location& to, Bytes bytes,
+                                     cluster::ServerId drain_server) {
+  const bool track = drain_server != cluster::ServerId(-1);
+  if (topology_ == nullptr || from.is_pool() || to.is_pool() ||
+      from.server == to.server) {
+    // No fabric model (or an intra-host copy): free, but a tracked drain
+    // still needs its completion signal — defer it through a zero-delay
+    // flow so retry ordering matches the priced case.
+    if (track) {
+      sim_->StartFlow(0, {}, [this, drain_server](sim::FlowId f, SimTime) {
+        (void)sim_->ReleaseRecord(f);
+        FinishDrainFlow(drain_server);
+      });
+    }
+    return;
+  }
+  const std::vector<sim::ResourceId> path =
+      topology_->DmaRemotePath(from.server, to.server);
+  sim_->StartFlow(static_cast<double>(bytes), path,
+                  [this, drain_server, track](sim::FlowId f, SimTime) {
+                    (void)sim_->ReleaseRecord(f);
+                    if (track) FinishDrainFlow(drain_server);
+                  });
+}
+
+void SizingController::BeginDrain(cluster::ServerId server,
+                                  Bytes target_bytes, SimTime now) {
+  const std::vector<core::DrainVictim> victims =
+      core::BlockedResidents(*manager_, server, target_bytes, now);
+  cluster::Cluster& cluster = manager_->cluster();
+
+  Drain drain;
+  drain.target_bytes = target_bytes;
+  drain.started = now;
+  std::vector<core::MigrationRecord> records;
+  for (const core::DrainVictim& v : victims) {
+    // Placement, best first:
+    //  1. The victim's dominant accessor, when it is a live peer with room
+    //     — the drain then doubles as a locality migration.
+    //  2. Compaction below the cut on the draining server itself — right
+    //     when the drainer IS the dominant accessor (exiling the segment
+    //     would just make the migrator haul it back next epoch) or when
+    //     the shrink is blocked by fragmentation alone.
+    //  3. The live peer with the most free shared bytes.
+    cluster::ServerId dest = server;
+    core::AccessTracker::DominantAccessor dom;
+    if (manager_->access_tracker().Dominant(v.seg, now, &dom) &&
+        dom.server != server &&
+        dom.server < static_cast<cluster::ServerId>(cluster.num_servers()) &&
+        !cluster.server(dom.server).crashed() &&
+        cluster.server(dom.server).shared_allocator().free_bytes() >=
+            v.size) {
+      dest = dom.server;
+    }
+    if (dest == server) {
+      auto rec_or = manager_->CompactSegment(v.seg, target_bytes);
+      if (rec_or.ok()) {
+        if (rec_or->bytes > 0) {
+          records.push_back(*rec_or);
+          drain.moved_bytes += rec_or->bytes;
+        }
+        continue;
+      }
+      if (IsFailedPrecondition(rec_or.status())) continue;  // busy
+      // No room below the cut: fall through to the most-free peer.
+      Bytes best_free = 0;
+      for (int s = 0; s < cluster.num_servers(); ++s) {
+        const auto id = static_cast<cluster::ServerId>(s);
+        if (id == server || cluster.server(id).crashed()) continue;
+        const Bytes free = cluster.server(id).shared_allocator().free_bytes();
+        if (free >= v.size && free > best_free) {
+          dest = id;
+          best_free = free;
+        }
+      }
+    }
+    if (dest == server) {
+      // Nobody can absorb the displaced bytes; give up on this drain —
+      // segments already moved stay moved, and the next epoch re-solves
+      // from the new occupancy.
+      ++stats_.drains_failed;
+      metrics_->Increment("ctrl.drains_failed");
+      if (trace_ != nullptr) {
+        trace_->Instant(trace::Category::kCtrl, "drain_oom", now,
+                        {trace::Arg("server", server),
+                         trace::Arg("segment", v.seg)});
+      }
+      return;
+    }
+    auto rec_or = manager_->MigrateSegment(v.seg, dest);
+    if (!rec_or.ok()) {
+      if (IsFailedPrecondition(rec_or.status())) continue;  // busy; next epoch
+      ++stats_.drains_failed;
+      metrics_->Increment("ctrl.drains_failed");
+      return;
+    }
+    records.push_back(*rec_or);
+    drain.moved_bytes += rec_or->bytes;
+  }
+
+  ++stats_.drains_started;
+  stats_.drain_bytes += drain.moved_bytes;
+  metrics_->Increment("ctrl.drains_started");
+  metrics_->Increment("ctrl.drain_bytes", drain.moved_bytes);
+  if (trace_ != nullptr) {
+    trace_->Begin(trace::Category::kCtrl, "drain", server, now,
+                  {trace::Arg("server", server),
+                   trace::Arg("target", target_bytes),
+                   trace::Arg("segments",
+                              static_cast<std::uint64_t>(records.size())),
+                   trace::Arg("bytes", drain.moved_bytes)});
+  }
+
+  // Price the moved bytes as DMA flows; the shrink retries when the last
+  // one completes.  A drain that needed no migrations (every blocker was
+  // busy) still defers its retry through one zero-byte flow.
+  drain.pending_flows = static_cast<int>(records.empty() ? 1 : records.size());
+  drains_[server] = drain;
+  if (records.empty()) {
+    PriceTransfer(core::Location::OnServer(server),
+                  core::Location::OnServer(server), 0, server);
+  } else {
+    for (const core::MigrationRecord& rec : records) {
+      PriceTransfer(rec.from, rec.to, rec.bytes, server);
+    }
+  }
+}
+
+void SizingController::FinishDrainFlow(cluster::ServerId server) {
+  auto it = drains_.find(server);
+  if (it == drains_.end()) return;
+  if (--it->second.pending_flows > 0) return;
+  RetryShrink(server);
+}
+
+void SizingController::RetryShrink(cluster::ServerId server) {
+  const Drain drain = drains_.at(server);
+  drains_.erase(server);
+  const SimTime now = sim_->now();
+  auto& srv = manager_->cluster().server(server);
+  const Bytes current = srv.shared_bytes();
+  Status st = srv.crashed() ? UnavailableError("server crashed mid-drain")
+                            : srv.ResizeShared(drain.target_bytes);
+  bool partial = false;
+  if (!st.ok() && !srv.crashed()) {
+    // Frames still sit past the cut (stragglers the drain could not place,
+    // or fresh allocations).  Shrink as far as the highest live frame lets
+    // us rather than surrendering the whole delta; the next epoch
+    // re-solves from there.
+    const Bytes feasible =
+        srv.shared_allocator().HighestAllocatedEnd() * srv.frame_size();
+    if (feasible > drain.target_bytes && feasible < current) {
+      st = srv.ResizeShared(feasible);
+      partial = st.ok();
+    }
+  }
+  if (st.ok()) {
+    ++stats_.shrinks;
+    ++stats_.drains_completed;
+    const Bytes landed = current - srv.shared_bytes();
+    stats_.resize_bytes += landed;
+    metrics_->Increment("ctrl.shrinks");
+    metrics_->Increment("ctrl.drains_completed");
+    if (partial) {
+      ++stats_.shrinks_partial;
+      metrics_->Increment("ctrl.shrinks_partial");
+    }
+    metrics_->Increment("ctrl.resize_bytes", landed);
+    cooldown_until_[server] = now + config_.cooldown;
+  } else {
+    // New allocations landed in the tail while the drain was in flight
+    // (or the server died).  The next epoch re-solves and may drain again.
+    ++stats_.drains_failed;
+    metrics_->Increment("ctrl.drains_failed");
+  }
+  if (trace_ != nullptr) {
+    trace_->End(trace::Category::kCtrl, "drain", server, now);
+    trace_->Instant(trace::Category::kCtrl,
+                    st.ok() ? "drain_done" : "drain_retry_blocked", now,
+                    {trace::Arg("server", server),
+                     trace::Arg("bytes", drain.moved_bytes),
+                     trace::Arg("elapsed_ns", now - drain.started)});
+  }
+}
+
+void SizingController::RunMigrationRound(SimTime now) {
+  std::vector<core::MigrationRecord> records;
+  const core::MigrationRoundStats round =
+      migrator_.RunOnce(now, &records).value_or(core::MigrationRoundStats{});
+  metrics_->Increment("ctrl.migrations",
+                      static_cast<std::uint64_t>(round.migrated));
+  metrics_->Increment("ctrl.migration_bytes", round.bytes_moved);
+  for (const core::MigrationRecord& rec : records) {
+    PriceTransfer(rec.from, rec.to, rec.bytes, cluster::ServerId(-1));
+  }
+}
+
+void SizingController::ExportEpochTelemetry(const core::SizingPlan& plan,
+                                            SimTime now) {
+  stats_.last_unmet_demand = plan.unmet_demand;
+  stats_.last_local_fraction = estimator_.ObservedLocalFraction(now);
+  metrics_->SetGauge("ctrl.unmet_demand",
+                     static_cast<double>(plan.unmet_demand));
+  metrics_->SetGauge("ctrl.local_fraction", stats_.last_local_fraction);
+  metrics_->SetGauge("ctrl.planned_local_fraction", plan.LocalFraction());
+  metrics_->SetGauge("ctrl.pending_drains",
+                     static_cast<double>(drains_.size()));
+}
+
+}  // namespace lmp::ctrl

@@ -1,0 +1,112 @@
+#include "ctrl/demand_estimator.h"
+
+#include <algorithm>
+
+#include "common/logging.h"
+
+namespace lmp::ctrl {
+
+DemandEstimator::DemandEstimator(core::PoolManager* manager,
+                                 EstimatorConfig config)
+    : manager_(manager), config_(config) {
+  LMP_CHECK(manager != nullptr);
+  LMP_CHECK(config_.time_constant > 0);
+  LMP_CHECK(config_.headroom_factor > 0);
+  servers_.resize(manager_->cluster().num_servers());
+}
+
+DemandEstimator::PerServer& DemandEstimator::state(cluster::ServerId server) {
+  LMP_CHECK(server < servers_.size()) << "unknown server " << server;
+  return servers_[server];
+}
+
+void DemandEstimator::SetPrivateFloor(cluster::ServerId server, Bytes bytes) {
+  state(server).private_floor = bytes;
+}
+
+void DemandEstimator::SetPriority(cluster::ServerId server, double priority) {
+  state(server).priority = priority;
+}
+
+void DemandEstimator::SetLeaseDemand(cluster::ServerId server, Bytes bytes) {
+  state(server).lease_demand = bytes;
+}
+
+void DemandEstimator::ClearLeaseDemands() {
+  for (PerServer& s : servers_) s.lease_demand = 0;
+}
+
+std::vector<core::ServerDemand> DemandEstimator::Estimate(SimTime now) {
+  // Raw attribution: each active segment's bytes go to its dominant
+  // accessor (recent-traffic plurality), or to its home server when nobody
+  // has touched it — an untouched allocation is still demand from whoever
+  // it was placed near.
+  std::vector<double> raw(servers_.size(), 0.0);
+  const core::AccessTracker& tracker = manager_->access_tracker();
+  manager_->segment_map().ForEach([&](const core::SegmentInfo& info) {
+    if (info.state == core::SegmentState::kLost) return;
+    core::AccessTracker::DominantAccessor dom;
+    if (tracker.Dominant(info.id, now, &dom) && dom.server < raw.size()) {
+      raw[dom.server] += static_cast<double>(info.size);
+    } else if (!info.home.is_pool() && info.home.server < raw.size()) {
+      raw[info.home.server] += static_cast<double>(info.size);
+    }
+  });
+
+  std::vector<core::ServerDemand> demands;
+  demands.reserve(servers_.size());
+  for (cluster::ServerId s = 0; s < servers_.size(); ++s) {
+    PerServer& st = servers_[s];
+    if (st.updated < 0) {
+      st.smoothed = raw[s];
+    } else {
+      const SimTime dt = now - st.updated;
+      if (dt > 0) {
+        const double alpha = 1.0 - std::exp(-dt / config_.time_constant);
+        st.smoothed += alpha * (raw[s] - st.smoothed);
+      }
+    }
+    st.updated = now;
+
+    // Round the smoothed estimate up to whole frames: sub-frame dither
+    // would otherwise produce endless ±1-byte resize requests.
+    const Bytes frame = manager_->cluster().server(s).frame_size();
+    const Bytes organic =
+        mem::FramesForBytes(
+            static_cast<Bytes>(st.smoothed * config_.headroom_factor),
+            frame) *
+        frame;
+    demands.push_back(core::ServerDemand{s, st.private_floor,
+                                         organic + st.lease_demand,
+                                         st.priority});
+  }
+  return demands;
+}
+
+double DemandEstimator::ObservedLocalFraction(SimTime now) const {
+  const core::AccessTracker& tracker = manager_->access_tracker();
+  const int n = manager_->cluster().num_servers();
+  double local = 0, total = 0;
+  manager_->segment_map().ForEach([&](const core::SegmentInfo& info) {
+    if (info.state == core::SegmentState::kLost) return;
+    for (int s = 0; s < n; ++s) {
+      const double bytes =
+          tracker.AccessedBytes(info.id, static_cast<cluster::ServerId>(s),
+                                now);
+      total += bytes;
+      if (!info.home.is_pool() &&
+          info.home.server == static_cast<cluster::ServerId>(s)) {
+        local += bytes;
+      }
+    }
+  });
+  return total == 0 ? 1.0 : local / total;
+}
+
+Bytes DemandEstimator::SmoothedOrganicDemand() const {
+  double sum = 0;
+  for (const PerServer& s : servers_) sum += s.smoothed;
+  return static_cast<Bytes>(sum);
+}
+
+}  // namespace lmp::ctrl

@@ -1,0 +1,90 @@
+// DemandEstimator: turns live telemetry into ServerDemand declarations.
+//
+// The paper's sizing optimization (§5 "Sizing the shared regions") consumes
+// per-server demand, but a production runtime has no oracle handing those
+// in — it has to *measure* them.  The estimator derives each server's pool
+// demand from the hotness profile and the segment map: every active
+// segment's bytes are attributed to its dominant accessor (the server whose
+// recent traffic on it is largest), falling back to the segment's home when
+// it has no recorded traffic.  Attribution therefore tracks both the
+// allocation watermark (segments exist => bytes are wanted) and the access
+// pattern (who wants them close).
+//
+// Raw attributions are EWMA-smoothed in simulated time so one bursty epoch
+// cannot whipsaw the solver: smoothed += (1 - exp(-dt/tau)) * (raw -
+// smoothed).  The controller's hysteresis handles the residual jitter.
+//
+// Determinism: servers are visited in id order and all state is derived
+// from sim time + simulation state, so repeated runs produce identical
+// demand vectors byte-for-byte.
+#pragma once
+
+#include <cmath>
+#include <cstdint>
+#include <vector>
+
+#include "common/units.h"
+#include "core/pool_manager.h"
+#include "core/sizing.h"
+
+namespace lmp::ctrl {
+
+struct EstimatorConfig {
+  // EWMA time constant for demand smoothing.  A few controller periods:
+  // long enough to ride out bursts, short enough to follow real shifts.
+  SimTime time_constant = Milliseconds(50);
+  // Provisioning margin applied to the smoothed estimate (1.1 = size the
+  // region 10% above measured demand).
+  double headroom_factor = 1.0;
+};
+
+class DemandEstimator {
+ public:
+  // The manager must outlive the estimator.
+  explicit DemandEstimator(core::PoolManager* manager,
+                           EstimatorConfig config = {});
+
+  // Static per-server inputs the telemetry cannot observe: the private
+  // floor (the server's own non-pool working set) and its priority under
+  // pressure.  Defaults: floor 0, priority 1.
+  void SetPrivateFloor(cluster::ServerId server, Bytes bytes);
+  void SetPriority(cluster::ServerId server, double priority);
+
+  // Demand injected by admission-controlled leases, replaced wholesale
+  // each epoch (the admission controller owns lease lifecycle).
+  void SetLeaseDemand(cluster::ServerId server, Bytes bytes);
+  void ClearLeaseDemands();
+
+  // One demand entry per server (id order), EWMA-smoothed as of `now`.
+  // Calling twice at the same `now` is idempotent (dt = 0 folds nothing).
+  std::vector<core::ServerDemand> Estimate(SimTime now);
+
+  // Traffic-weighted fraction of recent (decayed) accesses that hit the
+  // accessing server's own shared region — the quantity the paper's
+  // objective maximizes, observed rather than planned.  1.0 with no
+  // recorded traffic.
+  double ObservedLocalFraction(SimTime now) const;
+
+  // Last smoothed organic (non-lease) demand, summed over servers; the
+  // admission controller subtracts this from capacity to get headroom.
+  Bytes SmoothedOrganicDemand() const;
+
+  const EstimatorConfig& config() const { return config_; }
+
+ private:
+  struct PerServer {
+    Bytes private_floor = 0;
+    double priority = 1.0;
+    Bytes lease_demand = 0;
+    double smoothed = 0;   // EWMA of raw attributed bytes
+    SimTime updated = -1;  // < 0: no observation yet
+  };
+
+  PerServer& state(cluster::ServerId server);
+
+  core::PoolManager* manager_;
+  EstimatorConfig config_;
+  std::vector<PerServer> servers_;
+};
+
+}  // namespace lmp::ctrl

@@ -90,4 +90,45 @@ bool FrameAllocator::IsAllocated(FrameNumber f) const {
   return f < bitmap_.size() && bitmap_[f];
 }
 
+FrameNumber FrameAllocator::HighestAllocatedEnd() const {
+  for (FrameNumber f = bitmap_.size(); f > 0; --f) {
+    if (bitmap_[f - 1]) return f;
+  }
+  return 0;
+}
+
+StatusOr<std::vector<FrameRun>> FrameAllocator::AllocateBelow(
+    std::uint64_t frames, FrameNumber bound) {
+  if (frames == 0) return std::vector<FrameRun>{};
+  const FrameNumber limit = std::min<FrameNumber>(bound, bitmap_.size());
+  std::vector<FrameRun> runs;
+  std::uint64_t remaining = frames;
+  for (FrameNumber pos = 0; pos < limit && remaining > 0; ++pos) {
+    if (bitmap_[pos]) continue;
+    if (!runs.empty() && runs.back().end() == pos) {
+      ++runs.back().count;
+    } else {
+      runs.push_back(FrameRun{pos, 1});
+    }
+    bitmap_[pos] = true;
+    --free_frames_;
+    --remaining;
+  }
+  if (remaining > 0) {
+    LMP_CHECK_OK(Free(runs));  // roll back the partial grab
+    return OutOfMemoryError("need " + std::to_string(frames) +
+                            " frames below " + std::to_string(bound) +
+                            ", short by " + std::to_string(remaining));
+  }
+  return runs;
+}
+
+std::uint64_t FrameAllocator::AllocatedFramesFrom(FrameNumber from) const {
+  std::uint64_t count = 0;
+  for (FrameNumber f = from; f < bitmap_.size(); ++f) {
+    if (bitmap_[f]) ++count;
+  }
+  return count;
+}
+
 }  // namespace lmp::mem

@@ -50,6 +50,23 @@ class FrameAllocator {
 
   bool IsAllocated(FrameNumber f) const;
 
+  // Allocated frames at positions >= `from` — the frames a Resize(`from`)
+  // would have to reclaim.  This is what a deferred shrink strands: the
+  // sizing layer reports it so a drain knows how many bytes must move.
+  std::uint64_t AllocatedFramesFrom(FrameNumber from) const;
+
+  // One past the highest allocated frame — the smallest frame count a
+  // Resize() can shrink to right now.  0 when nothing is allocated.
+  FrameNumber HighestAllocatedEnd() const;
+
+  // First-fit allocation restricted to frames < `bound`: the compaction
+  // primitive.  A shrink to `bound` frames needs live data packed below
+  // the cut; next-fit Allocate() can land anywhere, this cannot.  Fails
+  // with kOutOfMemory when fewer than `frames` frames are free below
+  // `bound`; the hint is untouched.
+  StatusOr<std::vector<FrameRun>> AllocateBelow(std::uint64_t frames,
+                                                FrameNumber bound);
+
  private:
   // One bool per frame; small enough at our scales (96 GiB / 64 KiB pages =
   // 1.5M frames) that a plain bitmap beats cleverer structures.

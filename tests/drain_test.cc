@@ -97,12 +97,15 @@ TEST_F(DrainTest, SizingDeferThenDrainConverges) {
   ASSERT_TRUE(buf.ok());
   SizingPlan plan;
   plan.entries.push_back({2, MiB(1), 0, 0});
-  EXPECT_EQ(SizingOptimizer::Apply(cluster_, plan), 1);  // deferred
+  const SizingApplyResult deferred = SizingOptimizer::Apply(cluster_, plan);
+  EXPECT_EQ(deferred.deferred_count(), 1);
+  EXPECT_EQ(deferred.deferred[0].server, 2u);
+  EXPECT_GT(deferred.deferred[0].stranded_bytes, 0u);
   EXPECT_EQ(cluster_.server(2).shared_bytes(), MiB(4));
 
   ASSERT_TRUE(runtime_.DrainServer(2, MiB(1), 0).ok());
   EXPECT_EQ(cluster_.server(2).shared_bytes(), MiB(1));
-  EXPECT_EQ(SizingOptimizer::Apply(cluster_, plan), 0);  // now a no-op
+  EXPECT_EQ(SizingOptimizer::Apply(cluster_, plan).deferred_count(), 0);
 }
 
 }  // namespace

@@ -123,6 +123,44 @@ TEST(FramesForBytesTest, RoundsUp) {
   EXPECT_EQ(FramesForBytes(0, KiB(4)), 0u);
 }
 
+TEST(FrameAllocatorTest, HighestAllocatedEndTracksTail) {
+  FrameAllocator alloc(8, KiB(4));
+  EXPECT_EQ(alloc.HighestAllocatedEnd(), 0u);
+  auto a = alloc.Allocate(3);  // frames 0..2
+  ASSERT_TRUE(a.ok());
+  EXPECT_EQ(alloc.HighestAllocatedEnd(), 3u);
+  auto b = alloc.Allocate(2);  // frames 3..4
+  ASSERT_TRUE(b.ok());
+  ASSERT_TRUE(alloc.Free(*a).ok());
+  // Low frames freed: the tail is still pinned by the highest live frame.
+  EXPECT_EQ(alloc.HighestAllocatedEnd(), 5u);
+}
+
+TEST(FrameAllocatorTest, AllocateBelowPacksUnderTheBound) {
+  FrameAllocator alloc(8, KiB(4));
+  auto a = alloc.Allocate(2);  // 0..1
+  auto b = alloc.Allocate(2);  // 2..3, next-fit hint now at 4
+  ASSERT_TRUE(a.ok() && b.ok());
+  ASSERT_TRUE(alloc.Free(*a).ok());
+  // Plain Allocate would continue from the hint; AllocateBelow must come
+  // back for the hole at the bottom.
+  auto low = alloc.AllocateBelow(2, 4);
+  ASSERT_TRUE(low.ok());
+  ASSERT_EQ(low->size(), 1u);
+  EXPECT_EQ((*low)[0].first, 0u);
+  EXPECT_EQ((*low)[0].count, 2u);
+}
+
+TEST(FrameAllocatorTest, AllocateBelowRollsBackOnShortage) {
+  FrameAllocator alloc(8, KiB(4));
+  auto a = alloc.Allocate(3);  // 0..2
+  ASSERT_TRUE(a.ok());
+  const std::uint64_t free_before = alloc.free_frames();
+  auto low = alloc.AllocateBelow(3, 4);  // only frame 3 is free below 4
+  EXPECT_TRUE(IsOutOfMemory(low.status()));
+  EXPECT_EQ(alloc.free_frames(), free_before);  // partial grab rolled back
+}
+
 // --- LruCache -------------------------------------------------------------------
 
 TEST(LruCacheTest, MissThenHit) {

@@ -276,5 +276,49 @@ TEST_F(PoolManagerTest, TouchWithoutBackingStillTracksHotness) {
             StatusCode::kFailedPrecondition);
 }
 
+
+TEST_F(PoolManagerTest, CompactSegmentRehomesBelowTheCut) {
+  // Two 1 MiB buffers; freeing the first leaves a hole at the bottom and
+  // the second stranded above the 1 MiB shrink cut.
+  auto hole = manager_.Allocate(MiB(1), 0);
+  auto buf = manager_.Allocate(MiB(1), 0);
+  ASSERT_TRUE(hole.ok() && buf.ok());
+  const auto data = Pattern(MiB(1), 7);
+  ASSERT_TRUE(manager_.Write(0, *buf, 0, data).ok());
+  ASSERT_TRUE(manager_.Free(*hole).ok());
+
+  const SegmentId seg = manager_.Describe(*buf)->segments[0];
+  // The shrink is blocked while frames sit above the cut...
+  EXPECT_TRUE(IsFailedPrecondition(cluster_.server(0).ResizeShared(MiB(1))));
+  auto rec = manager_.CompactSegment(seg, MiB(1));
+  ASSERT_TRUE(rec.ok()) << rec.status().ToString();
+  EXPECT_GT(rec->bytes, 0u);
+  EXPECT_EQ(rec->from.server, 0u);
+  EXPECT_EQ(rec->to.server, 0u);
+  // ...and lands afterwards, data intact at the same buffer address.
+  ASSERT_TRUE(cluster_.server(0).ResizeShared(MiB(1)).ok());
+  std::vector<std::byte> out(MiB(1));
+  ASSERT_TRUE(manager_.Read(0, *buf, 0, out).ok());
+  EXPECT_EQ(out, data);
+}
+
+TEST_F(PoolManagerTest, CompactSegmentIsNoOpWhenAlreadyBelow) {
+  auto buf = manager_.Allocate(KiB(16), 0);
+  ASSERT_TRUE(buf.ok());
+  auto rec =
+      manager_.CompactSegment(manager_.Describe(*buf)->segments[0], MiB(1));
+  ASSERT_TRUE(rec.ok());
+  EXPECT_EQ(rec->bytes, 0u);
+}
+
+TEST_F(PoolManagerTest, CompactSegmentFailsWithoutRoomBelow) {
+  auto a = manager_.Allocate(MiB(2), 0);  // packs 0..2 MiB solid
+  auto b = manager_.Allocate(MiB(1), 0);  // 2..3 MiB
+  ASSERT_TRUE(a.ok() && b.ok());
+  auto rec =
+      manager_.CompactSegment(manager_.Describe(*b)->segments[0], MiB(2));
+  EXPECT_TRUE(IsOutOfMemory(rec.status()));
+}
+
 }  // namespace
 }  // namespace lmp::core

@@ -91,8 +91,9 @@ TEST(SizingTest, ApplyResizesServers) {
   auto plan = SizingOptimizer::Solve(
       cluster, {Demand(0, GiB(8), GiB(10)), Demand(1, GiB(8), GiB(4)),
                 Demand(2, GiB(8), 0), Demand(3, GiB(8), 0)});
-  const int deferred = SizingOptimizer::Apply(cluster, plan);
-  EXPECT_EQ(deferred, 0);
+  const SizingApplyResult result = SizingOptimizer::Apply(cluster, plan);
+  EXPECT_EQ(result.deferred_count(), 0);
+  EXPECT_EQ(result.applied, 4);
   EXPECT_EQ(cluster.server(0).shared_bytes(), GiB(10));
   EXPECT_EQ(cluster.server(1).shared_bytes(), GiB(4));
   EXPECT_EQ(cluster.server(2).shared_bytes(), 0u);
@@ -107,10 +108,32 @@ TEST(SizingTest, ApplyDefersBlockedShrink) {
   SizingPlan plan;
   plan.entries.push_back({0, 0, 0, 0});
   plan.entries.push_back({1, 0, 0, 0});
-  const int deferred = SizingOptimizer::Apply(cluster, plan);
-  EXPECT_EQ(deferred, 1);
+  const SizingApplyResult result = SizingOptimizer::Apply(cluster, plan);
+  EXPECT_EQ(result.deferred_count(), 1);
   EXPECT_EQ(cluster.server(0).shared_bytes(), 0u);
   EXPECT_EQ(cluster.server(1).shared_bytes(), GiB(24));
+}
+
+// Regression: a deferred shrink must say WHICH server it skipped and how
+// many bytes of live frames blocked it, not just bump a counter.
+TEST(SizingTest, ApplyReportsDeferredShrinkStructurally) {
+  cluster::ClusterConfig config = Config();
+  config.server_shared_memory = GiB(24);
+  cluster::Cluster cluster(config);
+  // 10 frames x 1 MiB live on server 1; shrinking to 4 MiB strands the
+  // 6 frames above the new boundary (first-fit packs from frame 0).
+  ASSERT_TRUE(cluster.server(1).shared_allocator().Allocate(10).ok());
+  SizingPlan plan;
+  plan.entries.push_back({1, MiB(4), 0, 0});
+  const SizingApplyResult result = SizingOptimizer::Apply(cluster, plan);
+  ASSERT_EQ(result.deferred_count(), 1);
+  EXPECT_EQ(result.applied, 0);
+  const auto& d = result.deferred[0];
+  EXPECT_EQ(d.server, 1u);
+  EXPECT_EQ(d.current_bytes, GiB(24));
+  EXPECT_EQ(d.target_bytes, MiB(4));
+  EXPECT_EQ(d.stranded_bytes, MiB(6));
+  EXPECT_FALSE(d.crashed);
 }
 
 TEST(SizingTest, ApplySkipsCrashedServers) {
@@ -118,7 +141,10 @@ TEST(SizingTest, ApplySkipsCrashedServers) {
   ASSERT_TRUE(cluster.server(2).Crash().ok());
   SizingPlan plan;
   plan.entries.push_back({2, GiB(4), 0, 0});
-  EXPECT_EQ(SizingOptimizer::Apply(cluster, plan), 1);
+  const SizingApplyResult result = SizingOptimizer::Apply(cluster, plan);
+  ASSERT_EQ(result.deferred_count(), 1);
+  EXPECT_TRUE(result.deferred[0].crashed);
+  EXPECT_EQ(result.deferred[0].server, 2u);
 }
 
 TEST(SizingTest, EmptyDemandsYieldEmptyPlan) {
