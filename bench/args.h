@@ -4,6 +4,8 @@
 //   --trace-out=PATH    Chrome trace_event JSON of the run
 //   --metrics-out=PATH  JSON dump of every MetricsRegistry counter
 //   --seed=N            deterministic seed for benches that randomize
+//   --threads=N         solver worker threads (results are byte-identical
+//                       for any value; only wall-clock changes)
 //   --fault-plan=PATH   lmp::chaos fault plan replayed during the run
 //                       (see src/chaos/fault_plan.h for the syntax)
 //
@@ -26,6 +28,7 @@ struct Args {
   std::string metrics_out;
   std::string fault_plan;
   std::uint64_t seed = 42;
+  int threads = 1;
 
   bool has_fault_plan() const { return !fault_plan.empty(); }
 
@@ -37,6 +40,7 @@ struct Args {
       constexpr std::string_view kMetrics = "--metrics-out=";
       constexpr std::string_view kPlan = "--fault-plan=";
       constexpr std::string_view kSeed = "--seed=";
+      constexpr std::string_view kThreads = "--threads=";
       if (arg.substr(0, kTrace.size()) == kTrace) {
         args.trace_out = std::string(arg.substr(kTrace.size()));
       } else if (arg.substr(0, kMetrics.size()) == kMetrics) {
@@ -50,6 +54,16 @@ struct Args {
             std::from_chars(value.data(), value.data() + value.size(), seed);
         if (ec == std::errc() && ptr == value.data() + value.size()) {
           args.seed = seed;
+        }
+      } else if (arg.substr(0, kThreads.size()) == kThreads) {
+        const std::string_view value = arg.substr(kThreads.size());
+        int threads = 0;
+        auto [ptr, ec] =
+            std::from_chars(value.data(), value.data() + value.size(),
+                            threads);
+        if (ec == std::errc() && ptr == value.data() + value.size() &&
+            threads >= 1) {
+          args.threads = threads;
         }
       }
     }
@@ -67,7 +81,8 @@ struct Args {
       const bool ours = arg.rfind("--trace-out=", 0) == 0 ||
                         arg.rfind("--metrics-out=", 0) == 0 ||
                         arg.rfind("--fault-plan=", 0) == 0 ||
-                        arg.rfind("--seed=", 0) == 0;
+                        arg.rfind("--seed=", 0) == 0 ||
+                        arg.rfind("--threads=", 0) == 0;
       if (!ours) kept.push_back(argv[i]);
     }
     return kept;

@@ -1,5 +1,6 @@
 #include "fabric/topology.h"
 
+#include <algorithm>
 #include <string>
 
 #include "common/trace.h"
@@ -24,6 +25,22 @@ void Topology::AddServers(int num_servers) {
   }
   server_bw_mult_.assign(server_port_.size(), 1.0);
   server_lat_mult_.assign(server_port_.size(), 1.0);
+}
+
+void Topology::AssignRackShards(int servers_per_rack) {
+  LMP_CHECK(servers_per_rack > 0) << "rack size must be positive";
+  num_racks_ = 0;
+  for (ServerIndex s = 0; s < server_port_.size(); ++s) {
+    const auto rack = static_cast<sim::ShardId>(s / servers_per_rack);
+    num_racks_ = std::max(num_racks_, static_cast<int>(rack) + 1);
+    for (sim::ResourceId core : server_cores_[s]) {
+      sim_->SetResourceShard(core, rack);
+    }
+    sim_->SetResourceShard(server_dram_[s], rack);
+    sim_->SetResourceShard(server_port_[s], rack);
+  }
+  // Pool resources stay unsharded: pool traffic fans in from every rack, so
+  // it belongs on the solver's sequential spill path by construction.
 }
 
 Topology Topology::MakeLogical(sim::FluidSimulator* sim, int num_servers,

@@ -73,6 +73,16 @@ class Topology {
                                              ServerIndex dst) const;
   std::vector<sim::ResourceId> DmaPoolPath(ServerIndex src) const;
 
+  // Sharding -----------------------------------------------------------------
+  // Tags every per-server resource (cores, DRAM, fabric port) with a rack
+  // shard: servers [0, n) form rack 0, [n, 2n) rack 1, and so on.  The
+  // solver then re-rates independent racks concurrently when their traffic
+  // stays rack-local; the physical pool box (if any) is left unsharded, so
+  // pool traffic and anything it touches solves on the sequential spill
+  // path.  Call once after construction, before starting flows.
+  void AssignRackShards(int servers_per_rack);
+  int num_racks() const { return num_racks_; }
+
   // Latency ------------------------------------------------------------------
   // Loaded read latency for a path class, using the smoothed utilization of
   // the bottleneck resource.
@@ -124,6 +134,7 @@ class Topology {
   std::vector<sim::ResourceId> pool_port_;
   sim::ResourceId pool_dram_ = 0;
   bool has_pool_dram_ = false;
+  int num_racks_ = 0;
 
   // Per-port health multipliers (1.0 = pristine), indexed like server_port_.
   std::vector<double> server_bw_mult_;

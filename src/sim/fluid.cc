@@ -4,10 +4,12 @@
 #include <cassert>
 #include <chrono>
 #include <cmath>
+#include <numeric>
 
 #include "common/logging.h"
 #include "common/metrics.h"
 #include "common/trace.h"
+#include "sim/solver_pool.h"
 
 namespace lmp::sim {
 namespace {
@@ -18,8 +20,12 @@ constexpr double kByteEpsilon = 1e-6;
 constexpr SimTime kTimeEpsilon = 1e-9;
 
 constexpr ResourceId kNoResource = std::numeric_limits<ResourceId>::max();
+constexpr std::size_t kNoTask = std::numeric_limits<std::size_t>::max();
 
 }  // namespace
+
+FluidSimulator::FluidSimulator() = default;
+FluidSimulator::~FluidSimulator() = default;
 
 ResourceId FluidSimulator::AddResource(std::string name,
                                        BytesPerSec capacity) {
@@ -29,6 +35,7 @@ ResourceId FluidSimulator::AddResource(std::string name,
   headroom_.push_back(0);
   unfrozen_.push_back(0);
   res_epoch_.push_back(0);
+  resource_shard_.push_back(kNoShard);
   return static_cast<ResourceId>(resources_.size() - 1);
 }
 
@@ -37,7 +44,16 @@ Status FluidSimulator::SetCapacity(ResourceId id, BytesPerSec capacity) {
     return InvalidArgumentError("no such resource");
   }
   if (capacity <= 0) return InvalidArgumentError("capacity must be > 0");
+  // Fold the utilization EWMA *before* the capacity changes: the elapsed
+  // window ran at the old capacity, and folding after the write would
+  // retroactively reprice it.  (The solve below folds again at dt == 0,
+  // which is a no-op.)
+  UpdateSmoothedUtil(resources_[id], now_);
   resources_[id].capacity = capacity;
+  if (in_batch_) {
+    batch_seed_.push_back(id);
+    return Status::Ok();
+  }
   seed_res_.clear();
   seed_res_.push_back(id);
   SolveSeeded();
@@ -79,6 +95,30 @@ void FluidSimulator::UpdateSmoothedUtil(Resource& r, SimTime t) const {
   if (t - r.smoothed_at <= 0) return;
   r.smoothed_util = FoldedSmoothedUtil(r, t);
   r.smoothed_at = t;
+}
+
+void FluidSimulator::SetResourceShard(ResourceId id, ShardId shard) {
+  LMP_CHECK(id < resources_.size()) << "no such resource";
+  LMP_CHECK(shard != kNoShard) << "reserved shard id";
+  LMP_CHECK(active_.empty()) << "assign shards before starting flows";
+  resource_shard_[id] = shard;
+  if (shard >= shard_cross_flows_.size()) {
+    shard_cross_flows_.resize(shard + 1, 0);
+    shard_task_.resize(shard + 1, 0);
+    shard_task_epoch_.resize(shard + 1, 0);
+  }
+}
+
+ShardId FluidSimulator::resource_shard(ResourceId id) const {
+  assert(id < resources_.size());
+  return resource_shard_[id];
+}
+
+void FluidSimulator::set_threads(int n) {
+  LMP_CHECK(n >= 1) << "thread count must be >= 1";
+  threads_ = n;
+  pool_.reset();
+  if (n > 1) pool_ = std::make_unique<SolverPool>(n);
 }
 
 void FluidSimulator::FinishRecord(FlowId id) {
@@ -131,10 +171,29 @@ FlowId FluidSimulator::StartFlow(double bytes,
                             /*visit_epoch=*/0})
           .first->second;
   IndexFlow(id, flow);
+  if (in_batch_) {
+    batch_seed_.insert(batch_seed_.end(), path.begin(), path.end());
+    return id;
+  }
   seed_res_.clear();
   seed_res_.insert(seed_res_.end(), path.begin(), path.end());
   SolveSeeded();
   return id;
+}
+
+void FluidSimulator::BeginBatch() {
+  LMP_CHECK(!in_batch_) << "BeginBatch inside an open batch";
+  in_batch_ = true;
+  batch_seed_.clear();
+}
+
+void FluidSimulator::EndBatch() {
+  LMP_CHECK(in_batch_) << "EndBatch without BeginBatch";
+  in_batch_ = false;
+  if (batch_seed_.empty()) return;
+  std::swap(seed_res_, batch_seed_);
+  batch_seed_.clear();
+  SolveSeeded();
 }
 
 void FluidSimulator::IndexFlow(FlowId id, Flow& flow) {
@@ -144,6 +203,7 @@ void FluidSimulator::IndexFlow(FlowId id, Flow& flow) {
   for (ResourceId r : flow.path) {
     flows_at_[r].push_back(FlowEntry{id, &flow});
   }
+  UpdateShardCrossings(flow.path, +1);
 }
 
 void FluidSimulator::UnindexFlow(FlowId id,
@@ -156,6 +216,39 @@ void FluidSimulator::UnindexFlow(FlowId id,
     auto [lo, hi] = std::equal_range(entries.begin(), entries.end(),
                                      FlowEntry{id, nullptr}, cmp);
     entries.erase(lo, hi);
+  }
+  UpdateShardCrossings(path, -1);
+}
+
+void FluidSimulator::UpdateShardCrossings(const std::vector<ResourceId>& path,
+                                          int delta) {
+  if (shard_cross_flows_.empty()) return;  // no shards assigned
+  // Collect the distinct shards on the path (paths are a handful of hops;
+  // a linear dedupe beats any set).  A flow confined to one shard closes
+  // nothing; any other mix — two shards, or a shard plus unsharded
+  // resources — holds every shard it touches open until the flow retires.
+  path_shards_.clear();
+  bool touches_unsharded = false;
+  for (ResourceId r : path) {
+    const ShardId s = resource_shard_[r];
+    if (s == kNoShard) {
+      touches_unsharded = true;
+      continue;
+    }
+    if (std::find(path_shards_.begin(), path_shards_.end(), s) ==
+        path_shards_.end()) {
+      path_shards_.push_back(s);
+    }
+  }
+  if (path_shards_.empty()) return;  // fully unsharded: spill-only
+  if (path_shards_.size() == 1 && !touches_unsharded) return;  // internal
+  for (ShardId s : path_shards_) {
+    if (delta > 0) {
+      ++shard_cross_flows_[s];
+    } else {
+      LMP_CHECK(shard_cross_flows_[s] > 0) << "cross-flow underflow";
+      --shard_cross_flows_[s];
+    }
   }
 }
 
@@ -171,18 +264,25 @@ void FluidSimulator::ScheduleAfter(SimTime delay, TimerCallback cb) {
   ScheduleAt(now_ + delay, std::move(cb));
 }
 
-void FluidSimulator::SolveWork() {
+void FluidSimulator::ProgressiveFill(std::vector<Work>& work,
+                                     const std::vector<ResourceId>& comp_res,
+                                     std::vector<double>& headroom,
+                                     std::vector<double>& unfrozen) {
   // Progressive filling: repeatedly find the resource whose equal share for
   // still-unfrozen flows is smallest, freeze those flows at that share.
-  // comp_res_ is sorted ascending so bottleneck ties break exactly as a
-  // full scan over all resources would.
+  // comp_res is sorted ascending so bottleneck ties break exactly as a
+  // full scan over all resources would.  This is the single weighted
+  // max-min core: the incremental solver, the full solver, every shard
+  // task, and the CheckAgainstFullSolve oracle all run this code, so none
+  // of them can drift from the others.  Rates land in Work::rate; nothing
+  // is written through Work::flow.
   std::size_t frozen_count = 0;
-  while (frozen_count < work_.size()) {
+  while (frozen_count < work.size()) {
     double best_share = std::numeric_limits<double>::infinity();
     ResourceId best_res = kNoResource;
-    for (ResourceId r : comp_res_) {
-      if (unfrozen_[r] <= 0) continue;
-      const double share = headroom_[r] / unfrozen_[r];
+    for (ResourceId r : comp_res) {
+      if (unfrozen[r] <= 0) continue;
+      const double share = headroom[r] / unfrozen[r];
       if (share < best_share) {
         best_share = share;
         best_res = r;
@@ -192,9 +292,9 @@ void FluidSimulator::SolveWork() {
       // Some flows traverse no constrained resource (cannot happen: flows
       // with empty paths complete instantly), but guard anyway by giving
       // them effectively unbounded rate.
-      for (auto& w : work_) {
+      for (auto& w : work) {
         if (!w.frozen) {
-          w.flow->rate = std::numeric_limits<double>::max();
+          w.rate = std::numeric_limits<double>::max();
           w.frozen = true;
           ++frozen_count;
         }
@@ -203,7 +303,7 @@ void FluidSimulator::SolveWork() {
     }
 
     // Freeze every unfrozen flow crossing the bottleneck at the fair share.
-    for (auto& w : work_) {
+    for (auto& w : work) {
       if (w.frozen) continue;
       bool crosses = false;
       for (ResourceId r : w.flow->path) {
@@ -213,13 +313,13 @@ void FluidSimulator::SolveWork() {
         }
       }
       if (!crosses) continue;
-      w.flow->rate = best_share * w.flow->weight;
+      w.rate = best_share * w.flow->weight;
       w.frozen = true;
       ++frozen_count;
       for (ResourceId r : w.flow->path) {
-        unfrozen_[r] -= w.flow->weight;
-        headroom_[r] -= w.flow->rate;
-        if (headroom_[r] < 0) headroom_[r] = 0;  // round-off guard
+        unfrozen[r] -= w.flow->weight;
+        headroom[r] -= w.rate;
+        if (headroom[r] < 0) headroom[r] = 0;  // round-off guard
       }
     }
   }
@@ -235,28 +335,30 @@ void FluidSimulator::RecomputeAll() {
   }
   if (active_.empty()) return;
 
-  work_.clear();
+  if (tasks_.empty()) tasks_.emplace_back();
+  ShardTask& task = tasks_[0];  // scratch reuse; full solves never overlap
+  task.work.clear();
+  task.comp_res.clear();
   for (auto& [id, f] : active_) {
-    f.rate = 0;
-    work_.push_back(Work{id, &f, false});
+    task.work.push_back(Work{id, &f, 0.0, false});
   }
 
   // Remaining capacity and unfrozen WEIGHT per resource (weighted max-min:
   // the fair share is per unit of weight).
-  comp_res_.clear();
   for (ResourceId r = 0; r < resources_.size(); ++r) {
-    comp_res_.push_back(r);
+    task.comp_res.push_back(r);
     headroom_[r] = resources_[r].capacity;
     unfrozen_[r] = 0;
   }
-  for (auto& w : work_) {
+  for (const Work& w : task.work) {
     for (ResourceId r : w.flow->path) unfrozen_[r] += w.flow->weight;
   }
 
-  SolveWork();
+  ProgressiveFill(task.work, task.comp_res, headroom_, unfrozen_);
 
-  for (auto& w : work_) {
-    for (ResourceId r : w.flow->path) resources_[r].rate_sum += w.flow->rate;
+  for (const Work& w : task.work) {
+    w.flow->rate = w.rate;
+    for (ResourceId r : w.flow->path) resources_[r].rate_sum += w.rate;
   }
 }
 
@@ -296,144 +398,172 @@ void FluidSimulator::SolveSeededImpl() {
     return;
   }
   ++stats_.recompute_calls;
-
-  // Connected component of the seed resources: alternate resource -> its
-  // crossing flows -> their paths until closed.  Epoch stamps make the
-  // visited sets allocation-free.
   ++solve_epoch_;
-  comp_res_.clear();
-  work_.clear();
-  const auto add_res = [this](ResourceId r) {
+
+  // Partition the seed resources into solver tasks.  A shard with zero
+  // cross-shard flows is *closed*: every flow touching it lies entirely
+  // inside it, so its connected components cannot extend past the shard
+  // boundary and its BFS + solve is independent of every other task.  Seeds
+  // in open shards or on unsharded resources funnel into one sequential
+  // "spill" task; spill components may span open shards but can never reach
+  // into a closed one (any flow that could bridge them would have held the
+  // shard open).  With no shards assigned, everything spills and the solve
+  // is exactly the classic single-component pass.
+  std::size_t num_tasks = 0;
+  std::size_t spill = kNoTask;
+  const auto task_index_for = [&](ResourceId r) -> std::size_t {
+    const ShardId shard = resource_shard_[r];
+    if (shard == kNoShard || shard_cross_flows_[shard] != 0) {
+      if (spill == kNoTask) {
+        spill = num_tasks++;
+        if (spill == tasks_.size()) tasks_.emplace_back();
+        tasks_[spill].seeds.clear();
+      }
+      return spill;
+    }
+    if (shard_task_epoch_[shard] != solve_epoch_) {
+      shard_task_epoch_[shard] = solve_epoch_;
+      shard_task_[shard] = num_tasks++;
+      if (shard_task_[shard] == tasks_.size()) tasks_.emplace_back();
+      tasks_[shard_task_[shard]].seeds.clear();
+    }
+    return shard_task_[shard];
+  };
+  if (shard_cross_flows_.empty()) {
+    // Fast path: no shards assigned, single spill task.
+    spill = num_tasks++;
+    if (tasks_.empty()) tasks_.emplace_back();
+    tasks_[0].seeds.clear();
+    tasks_[0].seeds.insert(tasks_[0].seeds.end(), seed_res_.begin(),
+                           seed_res_.end());
+  } else {
+    for (ResourceId r : seed_res_) {
+      tasks_[task_index_for(r)].seeds.push_back(r);
+    }
+  }
+
+  // Solve every task.  Tasks grow disjoint components and write disjoint
+  // flows/resources, and each performs identical arithmetic in identical
+  // order regardless of which thread runs it — results are byte-identical
+  // for any thread count.  The shared epoch stamps (res_epoch_,
+  // visit_epoch) are written at most once per solve per element, always by
+  // the single task owning that element.
+  stats_.shard_tasks += num_tasks;
+  if (num_tasks > 1) ++stats_.parallel_solves;
+  if (num_tasks > 1 && pool_ != nullptr) {
+    pool_->Run(num_tasks, [this](std::size_t i) { SolveTask(tasks_[i]); });
+  } else {
+    for (std::size_t i = 0; i < num_tasks; ++i) SolveTask(tasks_[i]);
+  }
+
+  // Deterministic merge: aggregate stats in task order (task order is a
+  // pure function of seed_res_ and the shard map, never of the schedule).
+  std::size_t touched = 0;
+  for (std::size_t i = 0; i < num_tasks; ++i) touched += tasks_[i].work.size();
+  stats_.flows_touched += touched;
+  if (touched == active_.size()) {
+    ++stats_.full_solves;
+    // The full-solve cooldown exists to skip BFS overhead when the graph
+    // keeps collapsing into one whole-cluster component.  A *partitioned*
+    // whole-graph solve is the opposite case: the BFS is what split it into
+    // small per-shard tasks, and falling back to RecomputeAll would replace
+    // them with one sequential cluster-wide fill.  Only single-task streaks
+    // arm the cooldown.
+    if (num_tasks > 1) {
+      full_solve_streak_ = 0;
+    } else {
+      if (full_solve_streak_ < kFullStreakThreshold) ++full_solve_streak_;
+      if (full_solve_streak_ >= kFullStreakThreshold) {
+        full_solve_cooldown_ = kFullSolveCooldown;
+      }
+    }
+  } else {
+    full_solve_streak_ = 0;
+  }
+
+  if (crosscheck_) CheckAgainstFullSolve();
+}
+
+void FluidSimulator::SolveTask(ShardTask& task) {
+  // Connected component(s) of the task's seed resources: alternate
+  // resource -> its crossing flows -> their paths until closed.  Epoch
+  // stamps make the visited sets allocation-free and are safe to share
+  // across concurrent tasks because components are disjoint.
+  task.comp_res.clear();
+  task.work.clear();
+  const auto add_res = [&](ResourceId r) {
     if (res_epoch_[r] != solve_epoch_) {
       res_epoch_[r] = solve_epoch_;
-      comp_res_.push_back(r);
+      task.comp_res.push_back(r);
     }
   };
-  for (ResourceId r : seed_res_) add_res(r);
-  const std::size_t num_active = active_.size();
-  for (std::size_t i = 0; i < comp_res_.size() && work_.size() < num_active;
-       ++i) {
-    for (const FlowEntry& e : flows_at_[comp_res_[i]]) {
+  for (ResourceId r : task.seeds) add_res(r);
+  for (std::size_t i = 0; i < task.comp_res.size(); ++i) {
+    for (const FlowEntry& e : flows_at_[task.comp_res[i]]) {
       if (e.flow->visit_epoch == solve_epoch_) continue;
       e.flow->visit_epoch = solve_epoch_;
-      work_.push_back(Work{e.id, e.flow, false});
+      task.work.push_back(Work{e.id, e.flow, 0.0, false});
       for (ResourceId r : e.flow->path) add_res(r);
     }
   }
   // Restore the deterministic orders the full pass iterates in: resources
   // by index (bottleneck tie-break), flows by id (freeze and rate_sum
   // accumulation order).  Required for bit-exact parity with RecomputeAll.
-  std::sort(comp_res_.begin(), comp_res_.end());
-  if (work_.size() == active_.size()) {
-    // The component spans every active flow (heavily bridged topologies);
-    // the map is already in id order, so rebuild instead of sorting.
-    work_.clear();
-    for (auto& [id, f] : active_) work_.push_back(Work{id, &f, false});
-  } else {
-    std::sort(work_.begin(), work_.end(),
-              [](const Work& a, const Work& b) { return a.id < b.id; });
-  }
+  std::sort(task.comp_res.begin(), task.comp_res.end());
+  std::sort(task.work.begin(), task.work.end(),
+            [](const Work& a, const Work& b) { return a.id < b.id; });
 
-  stats_.flows_touched += work_.size();
-  if (work_.size() == active_.size()) {
-    ++stats_.full_solves;
-    if (full_solve_streak_ < kFullStreakThreshold) ++full_solve_streak_;
-    if (full_solve_streak_ >= kFullStreakThreshold) {
-      full_solve_cooldown_ = kFullSolveCooldown;
-    }
-  } else {
-    full_solve_streak_ = 0;
-  }
-
-  for (ResourceId r : comp_res_) {
+  for (ResourceId r : task.comp_res) {
     UpdateSmoothedUtil(resources_[r], now_);
     headroom_[r] = resources_[r].capacity;
     unfrozen_[r] = 0;
     resources_[r].rate_sum = 0;
   }
-  for (auto& w : work_) {
-    w.flow->rate = 0;
+  for (const Work& w : task.work) {
     for (ResourceId r : w.flow->path) unfrozen_[r] += w.flow->weight;
   }
 
-  SolveWork();
+  ProgressiveFill(task.work, task.comp_res, headroom_, unfrozen_);
 
-  for (auto& w : work_) {
-    for (ResourceId r : w.flow->path) resources_[r].rate_sum += w.flow->rate;
+  for (const Work& w : task.work) {
+    w.flow->rate = w.rate;
+    for (ResourceId r : w.flow->path) resources_[r].rate_sum += w.rate;
   }
-
-  if (crosscheck_) CheckAgainstFullSolve();
 }
 
 void FluidSimulator::CheckAgainstFullSolve() const {
-  // Reference full progressive-filling pass over private scratch (the
-  // simulator state is untouched), compared bit-exactly against the rates
-  // the incremental solve left behind.  Debug/test-only: allocates.
-  struct Ref {
-    const Flow* flow;
-    double rate = 0;
-    bool frozen = false;
-  };
-  std::vector<Ref> ref;
-  ref.reserve(active_.size());
-  for (const auto& [id, f] : active_) ref.push_back(Ref{&f});
+  // Reference full pass over private scratch (the simulator state is
+  // untouched), compared bit-exactly against the rates the incremental
+  // solve left behind.  Runs the same ProgressiveFill core as production —
+  // the parity being checked is component decomposition, not arithmetic.
+  // Debug/test-only: allocates.
+  std::vector<Work> work;
+  work.reserve(active_.size());
+  for (const auto& [id, f] : active_) {
+    // ProgressiveFill only reads path/weight through the pointer and
+    // writes rates into Work::rate, so the const_cast is sound.
+    work.push_back(Work{id, const_cast<Flow*>(&f), 0.0, false});
+  }
+  std::vector<ResourceId> comp_res(resources_.size());
+  std::iota(comp_res.begin(), comp_res.end(), 0);
   std::vector<double> headroom(resources_.size());
   std::vector<double> unfrozen(resources_.size(), 0);
   for (std::size_t r = 0; r < resources_.size(); ++r) {
     headroom[r] = resources_[r].capacity;
   }
-  for (const Ref& w : ref) {
+  for (const Work& w : work) {
     for (ResourceId r : w.flow->path) unfrozen[r] += w.flow->weight;
   }
-  std::size_t frozen_count = 0;
-  while (frozen_count < ref.size()) {
-    double best_share = std::numeric_limits<double>::infinity();
-    std::size_t best_res = resources_.size();
-    for (std::size_t r = 0; r < resources_.size(); ++r) {
-      if (unfrozen[r] <= 0) continue;
-      const double share = headroom[r] / unfrozen[r];
-      if (share < best_share) {
-        best_share = share;
-        best_res = r;
-      }
-    }
-    if (best_res == resources_.size()) {
-      for (auto& w : ref) {
-        if (!w.frozen) {
-          w.rate = std::numeric_limits<double>::max();
-          w.frozen = true;
-          ++frozen_count;
-        }
-      }
-      break;
-    }
-    for (auto& w : ref) {
-      if (w.frozen) continue;
-      bool crosses = false;
-      for (ResourceId r : w.flow->path) {
-        if (r == best_res) {
-          crosses = true;
-          break;
-        }
-      }
-      if (!crosses) continue;
-      w.rate = best_share * w.flow->weight;
-      w.frozen = true;
-      ++frozen_count;
-      for (ResourceId r : w.flow->path) {
-        unfrozen[r] -= w.flow->weight;
-        headroom[r] -= w.rate;
-        if (headroom[r] < 0) headroom[r] = 0;
-      }
-    }
-  }
-  for (const Ref& w : ref) {
+
+  ProgressiveFill(work, comp_res, headroom, unfrozen);
+
+  for (const Work& w : work) {
     LMP_CHECK(w.rate == w.flow->rate)
         << "incremental solver diverged from full solve: rate "
         << w.flow->rate << " vs reference " << w.rate;
   }
   std::vector<double> rate_sum(resources_.size(), 0);
-  for (const Ref& w : ref) {
+  for (const Work& w : work) {
     for (ResourceId r : w.flow->path) rate_sum[r] += w.rate;
   }
   for (std::size_t r = 0; r < resources_.size(); ++r) {
@@ -467,7 +597,12 @@ void FluidSimulator::AdvanceTo(SimTime t) {
   if (dt > 0) {
     const double secs = dt / kNsPerSec;
     for (auto& [id, f] : active_) {
-      const double moved = f.rate * secs;
+      // Clamp to the flow's remaining bytes: the event-defining flows run
+      // out exactly here, and crediting rate * dt past that point
+      // over-counted bytes_served by up to the Zeno tolerance per
+      // completion (historical bug).  Residue the clamp leaves on
+      // force-completed flows is settled by Step().
+      const double moved = std::min(f.rate * secs, f.remaining);
       f.remaining -= moved;
       for (ResourceId r : f.path) resources_[r].bytes_served += moved;
     }
@@ -477,6 +612,7 @@ void FluidSimulator::AdvanceTo(SimTime t) {
 }
 
 bool FluidSimulator::Step() {
+  LMP_CHECK(!in_batch_) << "Step inside an open flow batch";
   // Shortest remaining duration among active flows, plus the flows that
   // achieve it (within a relative tolerance).  Working in durations and
   // force-completing the event-defining flows guarantees progress even when
@@ -493,29 +629,56 @@ bool FluidSimulator::Step() {
 
   if (timer <= completion) {
     AdvanceTo(timer);
-    std::pop_heap(timers_.begin(), timers_.end(),
-                  [](const Timer& a, const Timer& b) { return b < a; });
-    Timer t = std::move(timers_.back());
-    timers_.pop_back();
-    // Anything the callback changes (StartFlow, SetCapacity) re-solves its
+    // Batched dispatch: drain every timer due at this instant before
+    // running any callback, so a wave of same-time timers costs one Step
+    // (and one heap drain) instead of one Step each.  Timers a callback
+    // schedules at this same instant have larger seq values and would sort
+    // after the drained batch anyway; they run on the next Step.  The
+    // scratch is moved out so a re-entrant Step cannot clobber it.
+    auto batch = std::move(timer_batch_);
+    batch.clear();
+    const auto heap_cmp = [](const Timer& a, const Timer& b) { return b < a; };
+    while (!timers_.empty() && timers_.front().when == timer) {
+      std::pop_heap(timers_.begin(), timers_.end(), heap_cmp);
+      batch.push_back(std::move(timers_.back()));
+      timers_.pop_back();
+    }
+    // Anything a callback changes (StartFlow, SetCapacity) re-solves its
     // own component; no blanket recompute is needed afterwards.
-    t.cb(now_);
+    for (Timer& t : batch) t.cb(now_);
+    batch.clear();
+    timer_batch_ = std::move(batch);
     return true;
   }
 
   // Flows whose remaining duration is (within tolerance) the minimum are
-  // the ones this event completes; zero them before the epsilon sweep.
+  // the ones this event completes.  Collect them *before* advancing:
+  // AdvanceTo clamps what it credits to each flow's remaining bytes, and
+  // whatever residue the clamp leaves on these flows (the event definer can
+  // round either way) is settled here, so per-resource BytesServed totals
+  // are exact per flow rather than off by up to the Zeno tolerance.
   const SimTime dt_tolerance = min_dt * 1e-9 + kTimeEpsilon;
+  auto tied = std::move(tied_scratch_);
+  tied.clear();
   for (auto& [id, f] : active_) {
     if (f.rate <= 0) continue;
     if (f.remaining / f.rate * kNsPerSec <= min_dt + dt_tolerance) {
-      f.remaining = 0;
+      tied.push_back(&f);
     }
   }
   AdvanceTo(completion);
+  for (Flow* f : tied) {
+    if (f->remaining > 0) {
+      for (ResourceId r : f->path) resources_[r].bytes_served += f->remaining;
+      f->remaining = 0;
+    }
+  }
+  tied.clear();
+  tied_scratch_ = std::move(tied);
 
   // Collect every flow that finished at this instant.
-  std::vector<std::pair<FlowId, FlowCallback>> done;
+  auto done = std::move(done_scratch_);
+  done.clear();
   seed_res_.clear();
   for (auto it = active_.begin(); it != active_.end();) {
     if (it->second.remaining <= kByteEpsilon ||
@@ -537,6 +700,8 @@ bool FluidSimulator::Step() {
     if (cb) cb(id, now_);
     if (retention_ == RecordRetention::kDropCompleted) records_.erase(id);
   }
+  done.clear();
+  done_scratch_ = std::move(done);
   return true;
 }
 
@@ -592,6 +757,10 @@ void FluidSimulator::ExportSolverMetrics(MetricsRegistry& registry) {
                      stats_.flows_touched - exported_.flows_touched);
   registry.Increment("fluid.solver.full_solves",
                      stats_.full_solves - exported_.full_solves);
+  registry.Increment("fluid.solver.shard_tasks",
+                     stats_.shard_tasks - exported_.shard_tasks);
+  registry.Increment("fluid.solver.parallel_solves",
+                     stats_.parallel_solves - exported_.parallel_solves);
   registry.Increment("fluid.solver.solve_ns",
                      stats_.solve_ns - exported_.solve_ns);
   exported_ = stats_;

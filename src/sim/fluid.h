@@ -18,14 +18,29 @@
 // set_solver_crosscheck).  Scratch buffers persist across solves, so the
 // steady path allocates nothing.
 //
-// The simulator is single-threaded and owned by one experiment; it is not
-// thread-safe by design (CP.1 does not apply: no concurrency is shared).
+// Sharded parallel solving: resources can carry a shard hint (one shard per
+// rack; see fabric::Topology::AssignRackShards).  A shard crossed by no
+// active cross-shard flow is *closed*: its connected components cannot
+// extend past it, so an event that touches many closed shards (a completion
+// sweep over a whole cluster, a batched wave of arrivals) partitions into
+// independent per-shard solves that run concurrently on a fixed-size worker
+// pool (set_threads).  Every task writes only its own shard's flows and
+// resources and performs the same arithmetic in the same order no matter
+// which thread runs it, so results — rates, byte counters, traces, metrics
+// — are byte-identical for any thread count, including 1.  Unsharded
+// resources and open shards fall back to a single sequential "spill" task,
+// preserving the pre-shard behaviour bit-exactly.
+//
+// The simulator's API surface is single-threaded and owned by one
+// experiment; worker threads exist only inside a solve and never touch
+// state two tasks share.
 #pragma once
 
 #include <cstdint>
 #include <functional>
 #include <limits>
 #include <map>
+#include <memory>
 #include <string>
 #include <vector>
 
@@ -42,10 +57,16 @@ class TraceCollector;
 
 namespace lmp::sim {
 
+class SolverPool;
+
 using ResourceId = std::uint32_t;
 using FlowId = std::uint64_t;
+using ShardId = std::uint32_t;
 
 inline constexpr FlowId kInvalidFlow = 0;
+
+// Resources without an assigned shard solve on the sequential spill path.
+inline constexpr ShardId kNoShard = std::numeric_limits<ShardId>::max();
 
 struct FlowRecord {
   SimTime start = 0;
@@ -59,6 +80,11 @@ struct SolverStats {
   std::uint64_t recompute_calls = 0;  // solver invocations (any scope)
   std::uint64_t flows_touched = 0;    // flows re-rated, summed over calls
   std::uint64_t full_solves = 0;      // calls that re-rated every active flow
+  std::uint64_t shard_tasks = 0;      // solve tasks dispatched by the
+                                      // partitioned path (full solves add 0)
+  std::uint64_t parallel_solves = 0;  // solves that partitioned into > 1
+                                      // task.  Counted even at threads == 1
+                                      // so stats are thread-count-invariant.
   std::uint64_t solve_ns = 0;         // wall ns in the solver (needs
                                       // set_solver_timing(true); else 0)
 };
@@ -76,7 +102,8 @@ class FluidSimulator {
   using FlowCallback = std::function<void(FlowId, SimTime)>;
   using TimerCallback = std::function<void(SimTime)>;
 
-  FluidSimulator() = default;
+  FluidSimulator();
+  ~FluidSimulator();
 
   // Resources -------------------------------------------------------------
 
@@ -84,7 +111,9 @@ class FluidSimulator {
   ResourceId AddResource(std::string name, BytesPerSec capacity);
 
   // Dynamically rescale a resource (used to model uncore-frequency changes
-  // and degraded links).  Takes effect at the current simulated time.
+  // and degraded links).  Takes effect at the current simulated time; the
+  // utilization EWMA is folded at the old capacity first, so the elapsed
+  // window is priced as it actually ran.
   Status SetCapacity(ResourceId id, BytesPerSec capacity);
 
   BytesPerSec capacity(ResourceId id) const;
@@ -100,6 +129,21 @@ class FluidSimulator {
   // gaps between back-to-back flows do not read as an idle link.
   double SmoothedUtilization(ResourceId id) const;
 
+  // Sharding ---------------------------------------------------------------
+
+  // Tags a resource with a shard (e.g. its rack).  A hint, not a topology
+  // constraint: flows may still cross shards, and the solver detects that
+  // and routes the affected shards to the sequential spill path.  Must be
+  // called while no flows are active (deployment setup time).
+  void SetResourceShard(ResourceId id, ShardId shard);
+  ShardId resource_shard(ResourceId id) const;
+
+  // Fixed-size worker pool for solving independent shard components
+  // concurrently.  n == 1 (default) solves inline; any n produces
+  // byte-identical results.  Call at setup time, not mid-solve.
+  void set_threads(int n);
+  int threads() const { return threads_; }
+
   // Flows ------------------------------------------------------------------
 
   // Starts a flow of `bytes` through `path` at the current time.  An empty
@@ -112,6 +156,18 @@ class FluidSimulator {
   FlowId StartFlow(double bytes, const std::vector<ResourceId>& path,
                    FlowCallback on_done = nullptr, double weight = 1.0);
 
+  // Batched arrivals: between BeginBatch and EndBatch, StartFlow and
+  // SetCapacity defer rate recomputation; EndBatch runs one (sharded,
+  // possibly parallel) solve over everything the batch touched.  Since no
+  // simulated time passes inside a batch, the post-EndBatch state is
+  // identical to per-call solving — the batch only amortizes solver work
+  // (one component solve per shard instead of one per arrival).  Rates of
+  // flows started inside the batch read 0 until EndBatch.  Batches cannot
+  // nest and must be closed before Step/Run.
+  void BeginBatch();
+  void EndBatch();
+  bool in_batch() const { return in_batch_; }
+
   // Timers -----------------------------------------------------------------
 
   void ScheduleAt(SimTime when, TimerCallback cb);
@@ -121,9 +177,11 @@ class FluidSimulator {
 
   SimTime now() const { return now_; }
 
-  // Advances until the next event (flow completion or timer) and processes
-  // it.  Returns false when nothing remains.  A timer scheduled exactly at a
-  // flow's completion instant fires first; the completion sweeps next step.
+  // Advances until the next event and processes it.  Returns false when
+  // nothing remains.  A timer scheduled exactly at a flow's completion
+  // instant fires first; the completion sweeps next step.  All timers due
+  // at the same instant dispatch in one Step (FIFO within the batch);
+  // timers a callback schedules at that same instant run on the next Step.
   bool Step();
 
   // Runs until no active flows or pending timers remain.
@@ -170,7 +228,8 @@ class FluidSimulator {
   const SolverStats& solver_stats() const { return stats_; }
 
   // Adds the stats accumulated since the previous export to `registry` as
-  // counters fluid.solver.{recompute_calls,flows_touched,full_solves}.
+  // counters fluid.solver.{recompute_calls,flows_touched,full_solves,
+  // shard_tasks,parallel_solves}.
   void ExportSolverMetrics(MetricsRegistry& registry);
 
   // Tracing -----------------------------------------------------------------
@@ -187,7 +246,9 @@ class FluidSimulator {
     BytesPerSec capacity = 0;
     double rate_sum = 0;       // sum of currently allocated flow rates
     double bytes_served = 0;
-    // EWMA of utilization with time constant kUtilTau.
+    // EWMA of utilization with time constant kUtilTau.  Invariant: the EWMA
+    // is folded *before* rate_sum or capacity changes, so each elapsed
+    // window is priced at the rate and capacity it actually ran with.
     double smoothed_util = 0;
     SimTime smoothed_at = 0;
   };
@@ -212,7 +273,18 @@ class FluidSimulator {
   struct Work {
     FlowId id;
     Flow* flow;
+    double rate = 0;  // rate assigned by ProgressiveFill
     bool frozen = false;
+  };
+
+  // One solver task: the seed resources routed to it, plus the connected
+  // component(s) it grew from them.  Tasks touch disjoint flows/resources,
+  // so they can run on different pool threads without synchronization; the
+  // vectors persist across solves as per-task scratch.
+  struct ShardTask {
+    std::vector<ResourceId> seeds;
+    std::vector<ResourceId> comp_res;
+    std::vector<Work> work;
   };
 
   struct Timer {
@@ -232,18 +304,27 @@ class FluidSimulator {
   static constexpr std::uint32_t kFullSolveCooldown = 32;
 
   // Rate solver.  SolveSeeded() re-rates the connected component(s) of the
-  // resources in seed_res_ (or everything when incremental mode is off);
-  // RecomputeAll() is the classic full pass; SolveWork() is the progressive
-  // filling core both share, operating on work_ / comp_res_ / headroom_ /
-  // unfrozen_.
+  // resources in seed_res_ (or everything when incremental mode is off):
+  // SolveSeededImpl() partitions the seeds into per-closed-shard tasks plus
+  // a spill task and runs SolveTask on each (on the pool when >1 task);
+  // RecomputeAll() is the classic full pass.  ProgressiveFill() is the
+  // weighted-max-min core every path shares — including the
+  // CheckAgainstFullSolve oracle, so the reference cannot drift from the
+  // production solver.
   void SolveSeeded();
   void SolveSeededImpl();
   void RecomputeAll();
-  void SolveWork();
+  void SolveTask(ShardTask& task);
+  static void ProgressiveFill(std::vector<Work>& work,
+                              const std::vector<ResourceId>& comp_res,
+                              std::vector<double>& headroom,
+                              std::vector<double>& unfrozen);
   void CheckAgainstFullSolve() const;
 
   void IndexFlow(FlowId id, Flow& flow);
   void UnindexFlow(FlowId id, const std::vector<ResourceId>& path);
+  // Maintains shard_cross_flows_ when a flow is indexed (+1) / removed (-1).
+  void UpdateShardCrossings(const std::vector<ResourceId>& path, int delta);
 
   void AdvanceTo(SimTime t);
   // Folded EWMA at time t without mutating the resource (no copies).
@@ -265,16 +346,39 @@ class FluidSimulator {
 
   // Incremental-solver state: per-resource crossing-flow index plus
   // persistent scratch reused by every solve (no steady-state allocation).
+  // headroom_/unfrozen_ are indexed by ResourceId and shared by all tasks
+  // of a solve — tasks touch disjoint resources, so there are no races.
   std::vector<std::vector<FlowEntry>> flows_at_;
   std::vector<double> headroom_;
   std::vector<double> unfrozen_;
   std::vector<std::uint64_t> res_epoch_;
   std::vector<ResourceId> seed_res_;
-  std::vector<ResourceId> comp_res_;
-  std::vector<Work> work_;
+  std::vector<ShardTask> tasks_;
   std::uint64_t solve_epoch_ = 0;
   std::uint32_t full_solve_streak_ = 0;
   std::uint32_t full_solve_cooldown_ = 0;
+
+  // Shard hints and bookkeeping.  shard_cross_flows_[s] counts active flows
+  // that touch shard s and at least one resource outside it; zero means the
+  // shard is closed and its components can solve in parallel.
+  std::vector<ShardId> resource_shard_;
+  std::vector<std::uint32_t> shard_cross_flows_;
+  std::vector<std::size_t> shard_task_;        // shard -> task idx this solve
+  std::vector<std::uint64_t> shard_task_epoch_;
+  std::vector<ShardId> path_shards_;           // UpdateShardCrossings scratch
+
+  std::unique_ptr<SolverPool> pool_;
+  int threads_ = 1;
+
+  // Event-loop scratch, reused across Steps to amortize heap churn at high
+  // flow counts (moved out/in so a re-entrant Step degrades gracefully).
+  std::vector<Timer> timer_batch_;
+  std::vector<Flow*> tied_scratch_;
+  std::vector<std::pair<FlowId, FlowCallback>> done_scratch_;
+
+  // Batched-arrival state.
+  bool in_batch_ = false;
+  std::vector<ResourceId> batch_seed_;
 
   bool incremental_ = true;
   bool crosscheck_ = false;

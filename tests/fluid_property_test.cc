@@ -210,6 +210,93 @@ TEST_P(FluidPropertyTest, IncrementalSolveMatchesFullRecompute) {
             full.solver_stats().flows_touched);
 }
 
+// P7  sharded == flat: arbitrary shard hints plus a worker pool must not
+//     change a single bit of simulated output.  The sharded sim gets a
+//     random shard assignment (some resources deliberately left
+//     unsharded), four worker threads, and the full-solve crosscheck; the
+//     flat sim runs the plain incremental solver with no hints.  Shard
+//     hints only partition when the cross-flow counters prove it safe, so
+//     even an adversarial assignment may cost parallelism but never
+//     correctness.
+TEST_P(FluidPropertyTest, ShardedSolveMatchesFlatIncremental) {
+  const std::uint64_t seed = GetParam() ^ 0x5AADD;
+  FluidSimulator sharded;
+  sharded.set_solver_crosscheck(true);
+  sharded.set_threads(4);
+  FluidSimulator flat;
+
+  Rng rng(seed);
+  const int num_resources = static_cast<int>(rng.NextInRange(4, 12));
+  std::vector<ResourceId> shard_res, flat_res;
+  for (int r = 0; r < num_resources; ++r) {
+    const double cap = GBps(static_cast<double>(rng.NextInRange(1, 100)));
+    shard_res.push_back(sharded.AddResource("r" + std::to_string(r), cap));
+    flat_res.push_back(flat.AddResource("r" + std::to_string(r), cap));
+    if (rng.NextBernoulli(0.75)) {
+      sharded.SetResourceShard(shard_res.back(),
+                               static_cast<ShardId>(rng.NextInRange(0, 3)));
+    }
+  }
+
+  std::vector<FlowId> shard_ids, flat_ids;
+  const int num_flows = static_cast<int>(rng.NextInRange(8, 40));
+  for (int f = 0; f < num_flows; ++f) {
+    const double bytes =
+        rng.NextBernoulli(0.1)
+            ? 0.0
+            : static_cast<double>(rng.NextInRange(1, 500)) * 1e6;
+    const double weight = static_cast<double>(rng.NextInRange(1, 4));
+    const int path_len = static_cast<int>(rng.NextInRange(1, num_resources));
+    std::vector<int> idx(num_resources);
+    for (int i = 0; i < num_resources; ++i) idx[i] = i;
+    rng.Shuffle(idx);
+    std::vector<ResourceId> path(idx.begin(), idx.begin() + path_len);
+    const SimTime at = static_cast<SimTime>(rng.NextInRange(0, 50)) * 1e6;
+    sharded.ScheduleAt(at, [&sharded, &shard_ids, bytes, path,
+                            weight](SimTime) {
+      shard_ids.push_back(sharded.StartFlow(bytes, path, nullptr, weight));
+    });
+    flat.ScheduleAt(at, [&flat, &flat_ids, bytes, path, weight](SimTime) {
+      flat_ids.push_back(flat.StartFlow(bytes, path, nullptr, weight));
+    });
+  }
+  for (int c = 0; c < 3; ++c) {
+    const int r = static_cast<int>(rng.NextInRange(0, num_resources - 1));
+    const double cap = GBps(static_cast<double>(rng.NextInRange(1, 100)));
+    const SimTime at = static_cast<SimTime>(rng.NextInRange(1, 40)) * 1e6;
+    sharded.ScheduleAt(at, [&sharded, &shard_res, r, cap](SimTime) {
+      ASSERT_TRUE(sharded.SetCapacity(shard_res[r], cap).ok());
+    });
+    flat.ScheduleAt(at, [&flat, &flat_res, r, cap](SimTime) {
+      ASSERT_TRUE(flat.SetCapacity(flat_res[r], cap).ok());
+    });
+  }
+
+  while (true) {
+    const bool sharded_more = sharded.Step();
+    const bool flat_more = flat.Step();
+    ASSERT_EQ(sharded_more, flat_more);
+    ASSERT_EQ(sharded.now(), flat.now());  // bit-exact, no tolerance
+    if (!sharded_more) break;
+  }
+
+  ASSERT_EQ(shard_ids.size(), flat_ids.size());
+  for (std::size_t i = 0; i < shard_ids.size(); ++i) {
+    const FlowRecord* a = sharded.record(shard_ids[i]);
+    const FlowRecord* b = flat.record(flat_ids[i]);
+    ASSERT_NE(a, nullptr);
+    ASSERT_NE(b, nullptr);
+    EXPECT_TRUE(a->done);
+    EXPECT_TRUE(b->done);
+    EXPECT_EQ(a->end, b->end) << "flow " << i << " completion diverged";
+  }
+  for (int r = 0; r < num_resources; ++r) {
+    EXPECT_EQ(sharded.BytesServed(shard_res[r]),
+              flat.BytesServed(flat_res[r]))
+        << "resource " << r << " byte counter diverged";
+  }
+}
+
 INSTANTIATE_TEST_SUITE_P(Seeds, FluidPropertyTest,
                          ::testing::Values(11, 22, 33, 44, 55, 66, 77, 88,
                                            99, 1010));

@@ -361,6 +361,92 @@ TEST(FluidTest, NoZenoDeadlockAtLargeSimTimes) {
   EXPECT_GT(sim.now(), Seconds(10));
 }
 
+// Regression: SetCapacity must fold the elapsed utilization window at the
+// OLD capacity before repricing.  It used to mutate `capacity` first, so
+// the smoothed-utilization EWMA charged the whole elapsed window at the
+// new capacity — here that would halve a saturated reading.
+TEST(FluidTest, SetCapacityFoldsUtilizationAtOldCapacity) {
+  FluidSimulator sim;
+  const ResourceId r = sim.AddResource("link", GBps(1));
+  sim.StartFlow(1e9, {r});  // saturates the link for a full second
+  double smoothed = -1;
+  sim.ScheduleAt(Microseconds(50), [&](SimTime) {
+    // Five taus at 100% utilization, then double the capacity.  The window
+    // [0, 50us) ran against the old capacity, so the folded EWMA must stay
+    // near saturation (1 - e^-5 ~ 0.993); folding it at the doubled
+    // capacity would report ~0.5.
+    ASSERT_TRUE(sim.SetCapacity(r, GBps(2)).ok());
+    smoothed = sim.SmoothedUtilization(r);
+  });
+  sim.Run();
+  EXPECT_GT(smoothed, 0.95);
+}
+
+// Regression: completion events used to credit every tied flow with
+// rate x dt, dropping the sub-tolerance residue the tie absorbed.  The
+// clamp in AdvanceTo plus the tied-residue flush makes BytesServed exact
+// per flow: 2e9 + (2e9 + 1) bytes must come out as exactly 4e9 + 1.
+TEST(FluidTest, TiedCompletionsCreditExactBytes) {
+  FluidSimulator sim;
+  const ResourceId r = sim.AddResource("link", GBps(8));
+  // Both run at 4 GB/s; the second is one byte longer, which is within the
+  // completion tolerance, so both finish in the same event.
+  sim.StartFlow(2e9, {r});
+  sim.StartFlow(2e9 + 1.0, {r});
+  sim.Run();
+  EXPECT_EQ(sim.active_flow_count(), 0u);
+  EXPECT_DOUBLE_EQ(sim.BytesServed(r), 4e9 + 1.0);
+}
+
+// Batched arrivals defer the solve to EndBatch but must land in exactly
+// the state the unbatched sequence produces (no simulated time passes
+// inside a batch), with a single recompute instead of one per call.
+TEST(FluidTest, BatchedArrivalsMatchUnbatched) {
+  FluidSimulator batched, plain;
+  const ResourceId rb = batched.AddResource("link", GBps(10));
+  const ResourceId rp = plain.AddResource("link", GBps(10));
+  batched.BeginBatch();
+  EXPECT_TRUE(batched.in_batch());
+  std::vector<FlowId> bf, pf;
+  for (int i = 0; i < 4; ++i) {
+    bf.push_back(batched.StartFlow((i + 1) * 1e9, {rb}));
+    EXPECT_DOUBLE_EQ(batched.FlowRate(bf.back()), 0.0);  // not rated yet
+  }
+  ASSERT_TRUE(batched.SetCapacity(rb, GBps(8)).ok());
+  batched.EndBatch();
+  EXPECT_EQ(batched.solver_stats().recompute_calls, 1u);
+  ASSERT_TRUE(plain.SetCapacity(rp, GBps(8)).ok());
+  for (int i = 0; i < 4; ++i) {
+    pf.push_back(plain.StartFlow((i + 1) * 1e9, {rp}));
+  }
+  for (int i = 0; i < 4; ++i) {
+    EXPECT_EQ(batched.FlowRate(bf[i]), plain.FlowRate(pf[i]));  // bit-exact
+  }
+  batched.Run();
+  plain.Run();
+  EXPECT_EQ(batched.now(), plain.now());
+  EXPECT_EQ(batched.BytesServed(rb), plain.BytesServed(rp));
+}
+
+// Same-instant timers are drained as one batch per Step (one heap drain
+// for a whole arrival wave), still in FIFO order; a same-time timer
+// scheduled from inside a callback lands in the next batch.
+TEST(FluidTest, SameInstantTimersDrainInOneStep) {
+  FluidSimulator sim;
+  std::vector<int> order;
+  sim.ScheduleAt(Seconds(1), [&](SimTime t) {
+    order.push_back(1);
+    sim.ScheduleAt(t, [&](SimTime) { order.push_back(3); });
+  });
+  sim.ScheduleAt(Seconds(1), [&](SimTime) { order.push_back(2); });
+  EXPECT_TRUE(sim.Step());
+  EXPECT_EQ(order, (std::vector<int>{1, 2}));
+  EXPECT_TRUE(sim.Step());  // the nested same-instant timer fires here
+  EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+  EXPECT_FALSE(sim.Step());
+  EXPECT_DOUBLE_EQ(sim.now(), Seconds(1));
+}
+
 // --- SpanStream -------------------------------------------------------------
 
 TEST(SpanStreamTest, ProcessesSpansSequentially) {
