@@ -8,6 +8,10 @@
 //                       for any value; only wall-clock changes)
 //   --fault-plan=PATH   lmp::chaos fault plan replayed during the run
 //                       (see src/chaos/fault_plan.h for the syntax)
+//   --series-out=PATH   time-series JSON sidecar (lmp::obs sampled probes)
+//   --slo-out=PATH      per-tenant SLO attainment JSON (ctrl::SloLedger)
+//   --postmortem-out=PATH
+//                       chaos flight-recorder postmortems (crash snapshots)
 //
 // Unknown arguments are ignored: benches with their own flags parse argv
 // themselves after (or before) Args::Parse.  Benches must print identical
@@ -27,6 +31,9 @@ struct Args {
   std::string trace_out;
   std::string metrics_out;
   std::string fault_plan;
+  std::string series_out;
+  std::string slo_out;
+  std::string postmortem_out;
   std::uint64_t seed = 42;
   int threads = 1;
 
@@ -39,6 +46,9 @@ struct Args {
       constexpr std::string_view kTrace = "--trace-out=";
       constexpr std::string_view kMetrics = "--metrics-out=";
       constexpr std::string_view kPlan = "--fault-plan=";
+      constexpr std::string_view kSeries = "--series-out=";
+      constexpr std::string_view kSlo = "--slo-out=";
+      constexpr std::string_view kPostmortem = "--postmortem-out=";
       constexpr std::string_view kSeed = "--seed=";
       constexpr std::string_view kThreads = "--threads=";
       if (arg.substr(0, kTrace.size()) == kTrace) {
@@ -47,6 +57,12 @@ struct Args {
         args.metrics_out = std::string(arg.substr(kMetrics.size()));
       } else if (arg.substr(0, kPlan.size()) == kPlan) {
         args.fault_plan = std::string(arg.substr(kPlan.size()));
+      } else if (arg.substr(0, kSeries.size()) == kSeries) {
+        args.series_out = std::string(arg.substr(kSeries.size()));
+      } else if (arg.substr(0, kSlo.size()) == kSlo) {
+        args.slo_out = std::string(arg.substr(kSlo.size()));
+      } else if (arg.substr(0, kPostmortem.size()) == kPostmortem) {
+        args.postmortem_out = std::string(arg.substr(kPostmortem.size()));
       } else if (arg.substr(0, kSeed.size()) == kSeed) {
         const std::string_view value = arg.substr(kSeed.size());
         std::uint64_t seed = 0;
@@ -81,6 +97,9 @@ struct Args {
       const bool ours = arg.rfind("--trace-out=", 0) == 0 ||
                         arg.rfind("--metrics-out=", 0) == 0 ||
                         arg.rfind("--fault-plan=", 0) == 0 ||
+                        arg.rfind("--series-out=", 0) == 0 ||
+                        arg.rfind("--slo-out=", 0) == 0 ||
+                        arg.rfind("--postmortem-out=", 0) == 0 ||
                         arg.rfind("--seed=", 0) == 0 ||
                         arg.rfind("--threads=", 0) == 0;
       if (!ours) kept.push_back(argv[i]);

@@ -27,6 +27,8 @@
 #include "chaos/fault_plan.h"
 #include "common/table.h"
 #include "core/placement.h"
+#include "ctrl/slo_ledger.h"
+#include "obs/time_series.h"
 #include "trace_sidecar.h"
 
 namespace {
@@ -61,9 +63,18 @@ struct Cell {
   chaos::FaultPlan plan;
 };
 
+// Per-cell SLOs for the --slo-out ledger: a chaos cell "meets SLO" when the
+// workload held 4 GB/s and buffers were never unprotected for more than a
+// millisecond.  Crash-free cells meet both trivially; the sweep shows which
+// fault mixes break which deployment.
+constexpr double kSloMinGbps = 4.0;
+constexpr SimTime kSloMaxUnavail = Milliseconds(1);
+
 void RunSweep(std::string_view deployment_name, bool logical,
               const std::vector<Cell>& cells,
-              trace::TraceCollector* trace) {
+              lmp::bench::TraceSidecar* sidecar,
+              std::vector<std::unique_ptr<obs::TimeSeriesRecorder>>* keep) {
+  trace::TraceCollector* trace = sidecar->collector();
   std::printf("== %s: %d GiB vector, %d reps ==\n",
               std::string(deployment_name).c_str(),
               static_cast<int>(kVector / GiB(1)), kReps);
@@ -75,18 +86,48 @@ void RunSweep(std::string_view deployment_name, bool logical,
     spec.vector.repetitions = kReps;
     spec.faults = cell.plan;
     spec.replication_factor = logical ? 1 : 0;
+    // With --postmortem-out, every crash in this cell freezes the flight
+    // recorder's ring into a postmortem snapshot.
+    spec.flight_recorder = sidecar->flight_recorder();
 
     // A fresh deployment per cell: plans must not see each other's state.
     std::unique_ptr<baselines::MemoryDeployment> deployment;
+    sim::FluidSimulator* cell_sim = nullptr;
     if (logical) {
-      deployment = std::make_unique<baselines::LogicalDeployment>(
+      auto d = std::make_unique<baselines::LogicalDeployment>(
           fabric::LinkProfile::Link0(),
           cluster::ClusterConfig::PaperLogical(),
           std::make_unique<core::RoundRobinPlacement>(kStripe));
+      cell_sim = &d->simulator();
+      deployment = std::move(d);
     } else {
-      deployment = std::make_unique<baselines::PhysicalDeployment>(
+      auto d = std::make_unique<baselines::PhysicalDeployment>(
           fabric::LinkProfile::Link0(), /*use_cache=*/false);
+      cell_sim = &d->simulator();
+      deployment = std::move(d);
     }
+
+    // With --series-out, sample fabric pressure through the fault window:
+    // the flow count spikes while recovery transfers race the workload.
+    if (sidecar->wants_series()) {
+      obs::TimeSeriesRecorder::Config rc;
+      rc.interval = Milliseconds(10);
+      rc.horizon = Milliseconds(2500);
+      rc.prefix =
+          std::string(deployment_name) + "/" + cell.label + "/";
+      auto recorder =
+          std::make_unique<obs::TimeSeriesRecorder>(cell_sim, rc);
+      recorder->AddGauge("active_flows", [cell_sim] {
+        return static_cast<double>(cell_sim->active_flow_count());
+      });
+      recorder->AddCounter("solver.recompute_calls", [cell_sim] {
+        return cell_sim->solver_stats().recompute_calls;
+      });
+      recorder->Start();
+      sidecar->AddSeriesRecorder(recorder.get());
+      keep->push_back(std::move(recorder));
+    }
+
     auto result_or = deployment->RunWorkload(spec);
     LMP_CHECK(result_or.ok()) << result_or.status().ToString();
     const baselines::WorkloadResult& r = *result_or;
@@ -96,6 +137,18 @@ void RunSweep(std::string_view deployment_name, bool logical,
       trace->Counter(trace::Category::kChaos,
                      std::string(deployment_name) + "." + cell.label + ".ttr_ms",
                      0, r.chaos.max_time_to_redundancy / kNsPerMs);
+    }
+    if (ctrl::SloLedger* slo = sidecar->slo_ledger(); slo != nullptr) {
+      const std::string tenant =
+          std::string(deployment_name) + "/" + cell.label;
+      ctrl::SloTargets targets;
+      targets.min_bandwidth_gbps = kSloMinGbps;
+      targets.max_unavailability = kSloMaxUnavail;
+      slo->Register(tenant, targets);
+      slo->RecordBandwidth(tenant, r.vector.avg_bandwidth_gbps);
+      if (r.chaos.total_unavailability > 0) {
+        slo->AddUnavailability(tenant, r.chaos.total_unavailability);
+      }
     }
     table.AddRow(
         {cell.label, TablePrinter::Num(r.vector.avg_bandwidth_gbps, 2),
@@ -135,10 +188,11 @@ int main(int argc, char** argv) {
     }
   }
 
-  RunSweep("Logical (replication=1)", /*logical=*/true, cells,
-           sidecar.collector());
-  RunSweep("Physical no-cache", /*logical=*/false, cells,
-           sidecar.collector());
+  std::vector<std::unique_ptr<obs::TimeSeriesRecorder>> recorders;
+  RunSweep("Logical (replication=1)", /*logical=*/true, cells, &sidecar,
+           &recorders);
+  RunSweep("Physical no-cache", /*logical=*/false, cells, &sidecar,
+           &recorders);
   std::printf(
       "Same plans, same fabric: the logical pool pays recovery traffic for\n"
       "crashes but keeps serving from replicas; the physical box shrugs off\n"

@@ -30,11 +30,14 @@
 #include "chaos/fault_injector.h"
 #include "chaos/fault_plan.h"
 #include "common/logging.h"
+#include "common/metrics.h"
 #include "common/table.h"
 #include "common/trace.h"
 #include "core/pool_manager.h"
 #include "ctrl/controller.h"
+#include "ctrl/slo_ledger.h"
 #include "fabric/topology.h"
+#include "obs/time_series.h"
 #include "sim/fluid.h"
 
 #include "args.h"
@@ -96,8 +99,15 @@ void Touch(sim::FluidSimulator& sim, fabric::Topology& topo,
   }
 }
 
-Outcome Run(const Scenario& scenario, trace::TraceCollector* trace) {
+// `keep` receives the scenario's time-series recorder (when requested) so
+// its samples survive this function's simulator.
+Outcome Run(const Scenario& scenario, trace::TraceCollector* trace,
+            bool want_series,
+            std::vector<std::unique_ptr<obs::TimeSeriesRecorder>>* keep) {
   sim::FluidSimulator sim;
+  // Flow durations (tenant DMA + drains) land in the global registry's
+  // "fluid.flow_duration_ns" histogram — visible only via --metrics-out.
+  sim.set_metrics(&MetricsRegistry::Global());
   cluster::ClusterConfig config;
   config.num_servers = kServers;
   config.server_total_memory = kServerMem;
@@ -159,6 +169,38 @@ Outcome Run(const Scenario& scenario, trace::TraceCollector* trace) {
   if (trace != nullptr) controller.set_trace(trace);
   if (scenario.closed_loop) controller.Start();
 
+  // Opt-in telemetry sampling (--series-out=): snapshot controller and
+  // fabric state every tick on the sim's own timer wheel.  The probes read
+  // simulation state only, so the sidecar is byte-identical across runs.
+  std::unique_ptr<obs::TimeSeriesRecorder> recorder;
+  if (want_series) {
+    obs::TimeSeriesRecorder::Config rc;
+    rc.interval = kTick;
+    rc.horizon = kEnd;
+    rc.prefix = scenario.label + "/";
+    recorder = std::make_unique<obs::TimeSeriesRecorder>(&sim, rc);
+    recorder->AddGauge("local_fraction", [&controller, &sim] {
+      return controller.estimator().ObservedLocalFraction(sim.now());
+    });
+    recorder->AddGauge("pending_drains", [&controller] {
+      return static_cast<double>(controller.pending_drains());
+    });
+    recorder->AddCounter("ctrl.epochs", [&controller] {
+      return controller.stats().epochs;
+    });
+    recorder->AddCounter("ctrl.resize_bytes", [&controller] {
+      return controller.stats().resize_bytes;
+    });
+    for (int s = 0; s < kServers; ++s) {
+      recorder->AddGauge("util.s" + std::to_string(s) + ".port",
+                         [&sim, &topo, s] {
+                           return sim.Utilization(topo.port(
+                               static_cast<fabric::ServerIndex>(s)));
+                         });
+    }
+    recorder->Start();
+  }
+
   // Tenant ticks: server 0 until the shift, server 1 after.
   for (SimTime t = 0; t < kEnd; t += kTick) {
     sim.ScheduleAt(t, [&, t](SimTime now) {
@@ -174,6 +216,8 @@ Outcome Run(const Scenario& scenario, trace::TraceCollector* trace) {
 
   sim.Run();
 
+  if (recorder != nullptr) keep->push_back(std::move(recorder));
+
   Outcome out;
   out.local_fraction = controller.estimator().ObservedLocalFraction(kEnd);
   out.fresh_optimum =
@@ -188,6 +232,8 @@ Outcome Run(const Scenario& scenario, trace::TraceCollector* trace) {
 
 int main(int argc, char** argv) {
   lmp::bench::TraceSidecar sidecar(lmp::bench::Args::Parse(argc, argv));
+  ctrl::SloLedger* slo = sidecar.slo_ledger();
+  std::vector<std::unique_ptr<obs::TimeSeriesRecorder>> recorders;
   std::printf(
       "== Control plane: demand shift (tenant 0 -> 1, app 0 grows) at "
       "t=80ms ==\n");
@@ -201,7 +247,16 @@ int main(int argc, char** argv) {
       {"logical static + crash", false, true},
   };
   for (const Scenario& s : scenarios) {
-    const Outcome out = Run(s, sidecar.collector());
+    const Outcome out =
+        Run(s, sidecar.collector(), sidecar.wants_series(), &recorders);
+    if (slo != nullptr) {
+      // Each scenario is one tenant: the SLO is holding half the traffic
+      // local through the shift, which only the closed loop manages.
+      ctrl::SloTargets targets;
+      targets.local_fraction_floor = 0.5;
+      slo->Register(s.label, targets);
+      slo->RecordLocalFraction(s.label, out.local_fraction);
+    }
     table.AddRow(
         {s.label, lmp::TablePrinter::Num(out.local_fraction, 3),
          lmp::TablePrinter::Num(out.fresh_optimum, 3),
@@ -218,6 +273,13 @@ int main(int argc, char** argv) {
   // fraction is 0 by construction (Section 4.1).
   table.AddRow({"physical pool (fixed)", lmp::TablePrinter::Num(0.0, 3),
                 "-", "-", "-", "-", "-", "-", "-"});
+  if (slo != nullptr) {
+    ctrl::SloTargets targets;
+    targets.local_fraction_floor = 0.5;
+    slo->Register("physical pool (fixed)", targets);
+    slo->RecordLocalFraction("physical pool (fixed)", 0.0);
+  }
+  for (const auto& rec : recorders) sidecar.AddSeriesRecorder(rec.get());
   table.Print();
   std::printf(
       "\nClosed-loop sizing follows the shift: the estimator re-attributes\n"

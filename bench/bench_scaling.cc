@@ -13,11 +13,13 @@
 #include <algorithm>
 #include <chrono>
 #include <cstdio>
+#include <memory>
 
 #include "common/logging.h"
 #include "common/metrics.h"
 #include "common/table.h"
 #include "fabric/topology.h"
+#include "obs/time_series.h"
 #include "sim/stream.h"
 
 #include "common/trace.h"
@@ -97,8 +99,14 @@ struct WaveResult {
 // overlap, so at the largest size 100k+ flows are concurrently active, and
 // arrival/completion sweeps re-rate the whole cluster at once — the solves
 // that partition into one task per closed rack.
+// With `keep` non-null, a time-series recorder samples the solver counters
+// and the live flow count every 100us of sim time — the probes read solver
+// totals that are identical for every --threads= value, so the series
+// sidecar doubles as a thread-count determinism check.
 WaveResult RackLocalWaves(int servers, int threads,
-                          trace::TraceCollector* trace = nullptr) {
+                          trace::TraceCollector* trace = nullptr,
+                          std::vector<std::unique_ptr<
+                              obs::TimeSeriesRecorder>>* keep = nullptr) {
   constexpr int kServersPerRack = 128;
   constexpr int kWaves = 4;
   constexpr int kFlowsPerServer = 10;
@@ -118,6 +126,32 @@ WaveResult RackLocalWaves(int servers, int threads,
                                             fabric::LinkProfile::Link1());
   topo.AssignRackShards(kServersPerRack);
 
+  std::unique_ptr<obs::TimeSeriesRecorder> recorder;
+  if (keep != nullptr) {
+    obs::TimeSeriesRecorder::Config rc;
+    rc.interval = Microseconds(100);
+    rc.horizon = Milliseconds(3);  // past the last wave's completion
+    rc.prefix = "rack-waves-" + std::to_string(servers) + "/";
+    recorder = std::make_unique<obs::TimeSeriesRecorder>(&sim, rc);
+    recorder->AddGauge("active_flows", [&sim] {
+      return static_cast<double>(sim.active_flow_count());
+    });
+    recorder->AddCounter("solver.recompute_calls", [&sim] {
+      return sim.solver_stats().recompute_calls;
+    });
+    recorder->AddCounter("solver.shard_tasks", [&sim] {
+      return sim.solver_stats().shard_tasks;
+    });
+    recorder->AddCounter("solver.flows_touched", [&sim] {
+      return sim.solver_stats().flows_touched;
+    });
+    recorder->Start();
+  }
+
+  // The recorder's sampling horizon outlives the last completion, so with
+  // series wired the workload's elapsed time is taken from the completion
+  // callbacks rather than the (recorder-extended) final sim clock.
+  SimTime last_done = 0;
   std::uint64_t flows = 0;
   for (int w = 0; w < kWaves; ++w) {
     sim.ScheduleAt(w * wave_interval, [&](SimTime) {
@@ -137,7 +171,14 @@ WaveResult RackLocalWaves(int servers, int threads,
               cross_rack
                   ? static_cast<fabric::ServerIndex>(kServersPerRack)
                   : ring_next;
-          sim.StartFlow(kBytesPerFlow, topo.RemotePath(src, core, dst));
+          if (recorder != nullptr) {
+            sim.StartFlow(kBytesPerFlow, topo.RemotePath(src, core, dst),
+                          [&last_done](sim::FlowId, SimTime t) {
+                            last_done = t;
+                          });
+          } else {
+            sim.StartFlow(kBytesPerFlow, topo.RemotePath(src, core, dst));
+          }
           ++flows;
         }
       }
@@ -153,13 +194,15 @@ WaveResult RackLocalWaves(int servers, int threads,
   out.solves = st.recompute_calls;
   out.flows_touched = st.flows_touched;
   out.parallel_solves = st.parallel_solves;
+  const SimTime elapsed = recorder != nullptr ? last_done : sim.now();
   out.gbps =
-      static_cast<double>(flows) * kBytesPerFlow / (sim.now() / kNsPerSec) /
+      static_cast<double>(flows) * kBytesPerFlow / (elapsed / kNsPerSec) /
       1e9;
   out.wall_ms = std::chrono::duration<double, std::milli>(
                     std::chrono::steady_clock::now() - wall0)
                     .count();
   sim.ExportSolverMetrics(MetricsRegistry::Global());
+  if (recorder != nullptr) keep->push_back(std::move(recorder));
   return out;
 }
 
@@ -188,18 +231,22 @@ int main(int argc, char** argv) {
       "\n== Parallel sharded solver: rack-local waves (racks of 128) ==\n");
   TablePrinter ptable({"Servers", "Racks", "Flows", "Solves", "Flows touched",
                        "GB/s"});
+  std::vector<std::unique_ptr<lmp::obs::TimeSeriesRecorder>> recorders;
   for (const int servers : {1000, 2000, 5000, 10000}) {
-    // Tracing is wired only at the smallest size: it proves thread-count
-    // determinism of the emitted trace without buffering millions of
-    // per-flow events at the 10k-server point.
+    // Tracing and series sampling are wired only at the smallest size: they
+    // prove thread-count determinism of the emitted sidecars without
+    // buffering millions of per-flow events at the 10k-server point.
+    const bool wired = servers == 1000;
     const WaveResult r = RackLocalWaves(
-        servers, args.threads, servers == 1000 ? sidecar.collector() : nullptr);
+        servers, args.threads, wired ? sidecar.collector() : nullptr,
+        wired && sidecar.wants_series() ? &recorders : nullptr);
     ptable.AddRow({std::to_string(servers), std::to_string(r.racks),
                    std::to_string(r.flows), std::to_string(r.solves),
                    std::to_string(r.flows_touched), TablePrinter::Num(r.gbps)});
     std::fprintf(stderr, "rack-waves: %d servers, threads=%d: %.1f ms\n",
                  servers, args.threads, r.wall_ms);
   }
+  for (const auto& rec : recorders) sidecar.AddSeriesRecorder(rec.get());
   ptable.Print();
   std::printf(
       "\nEach rack is a solver shard: cluster-wide arrival and completion\n"

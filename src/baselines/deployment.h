@@ -18,6 +18,10 @@
 #include "common/units.h"
 #include "fabric/link.h"
 
+namespace lmp::obs {
+class FlightRecorder;
+}
+
 namespace lmp::baselines {
 
 struct VectorSumParams {
@@ -67,6 +71,13 @@ struct WorkloadSpec {
   // time-to-redundancy needs the recovery tail, not just the workload
   // window.  total_time_ns still covers only the repetitions.
   bool drain_recovery = true;
+  // Optional chaos flight recorder bound to the injector for this run:
+  // fault/recovery events land in its ring and each crash freezes a
+  // postmortem.  Passed through the spec (rather than set on the injector
+  // directly) because deployments create their injector lazily inside
+  // RunWorkload, after the replication layer exists.  Must outlive the
+  // deployment.
+  obs::FlightRecorder* flight_recorder = nullptr;
 };
 
 struct WorkloadResult {

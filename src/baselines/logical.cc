@@ -185,6 +185,9 @@ StatusOr<WorkloadResult> LogicalDeployment::RunWorkload(
     LMP_RETURN_IF_ERROR(replication_->ProtectBuffer(buffer));
   }
   chaos::FaultInjector& inj = injector(spec.injector);
+  if (spec.flight_recorder != nullptr) {
+    inj.set_flight_recorder(spec.flight_recorder);
+  }
   LMP_RETURN_IF_ERROR(inj.WatchBuffer(buffer));
   if (!spec.faults.empty()) {
     LMP_RETURN_IF_ERROR(inj.SchedulePlan(spec.faults));

@@ -38,6 +38,9 @@ StatusOr<WorkloadResult> PhysicalDeployment::RunWorkload(
   }
   WorkloadResult out;
   chaos::FaultInjector& inj = injector(spec.injector);
+  if (spec.flight_recorder != nullptr) {
+    inj.set_flight_recorder(spec.flight_recorder);
+  }
   if (!spec.faults.empty()) {
     LMP_RETURN_IF_ERROR(inj.SchedulePlan(spec.faults));
   }

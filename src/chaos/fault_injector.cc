@@ -1,9 +1,11 @@
 #include "chaos/fault_injector.h"
 
 #include <algorithm>
+#include <string>
 
 #include "common/logging.h"
 #include "common/trace.h"
+#include "obs/flight_recorder.h"
 
 namespace lmp::chaos {
 
@@ -109,6 +111,11 @@ Status FaultInjector::Dispatch(const FaultEvent& event) {
       return Status::Ok();
     }
     case FaultKind::kRackFail:
+      if (flight_ != nullptr) {
+        flight_->Record(sim_->now(), "fault.rack",
+                        std::to_string(event.servers.size()) +
+                            " servers failing together");
+      }
       for (cluster::ServerId s : event.servers) {
         LMP_RETURN_IF_ERROR(ApplyCrash(s));
       }
@@ -125,11 +132,20 @@ Status FaultInjector::ApplyCrash(cluster::ServerId server) {
     trace_->Instant(trace::Category::kChaos, "fault_crash", now,
                     {trace::Arg("server", static_cast<std::uint64_t>(server))});
   }
+  if (flight_ != nullptr) {
+    flight_->Record(now, "fault.crash",
+                    "server s" + std::to_string(server));
+  }
   if (manager_ == nullptr) {
     // Timing-only / physical deployment: the cluster records the crash;
     // pooled data lives on the pool box and survives (the paper's §5
     // argument for why the blast radius differs between deployments).
-    return cluster_->server(server).Crash();
+    const Status st = cluster_->server(server).Crash();
+    if (st.ok() && flight_ != nullptr) {
+      flight_->SnapshotPostmortem("server_crash:s" + std::to_string(server),
+                                  now);
+    }
+    return st;
   }
   LMP_ASSIGN_OR_RETURN(const std::vector<core::SegmentId> lost,
                        manager_->OnServerCrash(server));
@@ -144,7 +160,14 @@ Status FaultInjector::ApplyCrash(cluster::ServerId server) {
   metrics_->Increment("chaos.segments_lost",
                       static_cast<std::uint64_t>(newly_lost));
   OpenWindows(lost);
-  return RecoverAfterCrash(server, lost);
+  const Status st = RecoverAfterCrash(server, lost);
+  // Snapshot after recovery kicks off, so the postmortem shows both the
+  // context leading up to the crash and the transfers it triggered.
+  if (st.ok() && flight_ != nullptr) {
+    flight_->SnapshotPostmortem("server_crash:s" + std::to_string(server),
+                                now);
+  }
+  return st;
 }
 
 Status FaultInjector::ApplyRecover(cluster::ServerId server) {
@@ -153,6 +176,10 @@ Status FaultInjector::ApplyRecover(cluster::ServerId server) {
   if (trace_ != nullptr) {
     trace_->Instant(trace::Category::kChaos, "fault_recover", sim_->now(),
                     {trace::Arg("server", static_cast<std::uint64_t>(server))});
+  }
+  if (flight_ != nullptr) {
+    flight_->Record(sim_->now(), "fault.recover",
+                    "server s" + std::to_string(server));
   }
   if (manager_ == nullptr) return cluster_->server(server).Recover();
   return manager_->OnServerRecover(server);
@@ -192,6 +219,13 @@ Status FaultInjector::ApplyDegrade(const FaultEvent& event) {
   degrade_baseline_[key] = DegradedBytesBaseline(event);
   ++report_.link_degrades;
   metrics_->Increment("chaos.link_degrades");
+  if (flight_ != nullptr) {
+    flight_->Record(now, "link.degrade",
+                    (event.pool_link
+                         ? std::string("pool link")
+                         : "link s" + std::to_string(event.servers[0])) +
+                        " bw x" + trace::JsonNumber(event.bandwidth_mult));
+  }
   if (trace_ != nullptr) {
     trace_->Instant(
         trace::Category::kChaos, "link_degrade", now,
@@ -223,6 +257,12 @@ Status FaultInjector::ApplyRestore(const FaultEvent& event) {
   }
   ++report_.link_restores;
   metrics_->Increment("chaos.link_restores");
+  if (flight_ != nullptr) {
+    flight_->Record(now, "link.restore",
+                    event.pool_link
+                        ? std::string("pool link")
+                        : "link s" + std::to_string(event.servers[0]));
+  }
   if (trace_ != nullptr) {
     trace_->Instant(
         trace::Category::kChaos, "link_restore", now,
@@ -314,6 +354,11 @@ void FaultInjector::StartRecoveryTransfer(cluster::ServerId src,
                       {trace::Arg("segment", segment),
                        trace::Arg("attempt", attempt + 1)});
     }
+    if (flight_ != nullptr) {
+      flight_->Record(sim_->now(), "recovery.retry",
+                      "segment " + std::to_string(segment) + " attempt " +
+                          std::to_string(attempt + 1));
+    }
     const SimTime delay =
         options_.retry_backoff * static_cast<double>(1u << attempt);
     sim_->ScheduleAfter(delay,
@@ -330,6 +375,12 @@ void FaultInjector::StartRecoveryTransfer(cluster::ServerId src,
                      trace::Arg("src", static_cast<std::uint64_t>(src)),
                      trace::Arg("dst", static_cast<std::uint64_t>(dst)),
                      trace::Arg("bytes", bytes)});
+  }
+  if (flight_ != nullptr) {
+    flight_->Record(sim_->now(), "recovery.start",
+                    "segment " + std::to_string(segment) + " s" +
+                        std::to_string(src) + "->s" + std::to_string(dst) +
+                        " " + std::to_string(bytes) + "B");
   }
   // With no live peer to read from, the copy is intra-host: free in the
   // fabric model (empty path completes via a zero-delay timer).
@@ -365,6 +416,11 @@ void FaultInjector::FinishRecoveryTransfer(core::SegmentId segment,
                     {trace::Arg("segment", segment),
                      trace::Arg("bytes", bytes)});
   }
+  if (flight_ != nullptr) {
+    flight_->Record(sim_->now(), "recovery.done",
+                    "segment " + std::to_string(segment) + " " +
+                        std::to_string(bytes) + "B");
+  }
   --outstanding_;
   if (outstanding_ == 0 && window_start_ >= 0) {
     const SimTime ttr = sim_->now() - window_start_;
@@ -372,6 +428,8 @@ void FaultInjector::FinishRecoveryTransfer(core::SegmentId segment,
         std::max(report_.max_time_to_redundancy, ttr);
     metrics_->SetGauge("chaos.max_time_to_redundancy_ns",
                        report_.max_time_to_redundancy);
+    metrics_->RecordValue("chaos.time_to_redundancy_ns",
+                          static_cast<std::uint64_t>(ttr));
     window_start_ = -1;
   }
   MaybeCloseWindows();
@@ -383,6 +441,10 @@ void FaultInjector::AbandonRecoveryTransfer(core::SegmentId segment) {
   // end, not one that quietly succeeded.
   ++report_.rebuilds_abandoned;
   metrics_->Increment("chaos.rebuilds_abandoned");
+  if (flight_ != nullptr) {
+    flight_->Record(sim_->now(), "recovery.abandoned",
+                    "segment " + std::to_string(segment));
+  }
   if (trace_ != nullptr) {
     trace_->Instant(trace::Category::kChaos, "recovery_abandoned",
                     sim_->now(), {trace::Arg("segment", segment)});

@@ -40,6 +40,10 @@ namespace lmp::trace {
 class TraceCollector;
 }
 
+namespace lmp::obs {
+class FlightRecorder;
+}
+
 namespace lmp::chaos {
 
 struct InjectorOptions {
@@ -117,6 +121,13 @@ class FaultInjector {
 
   void set_trace(trace::TraceCollector* collector) { trace_ = collector; }
   void set_metrics(MetricsRegistry* registry);
+  // With a recorder bound, every fault and recovery step is logged into
+  // its ring, and each server crash (rack failures crash several servers,
+  // snapshotting once per victim) freezes a postmortem of the events
+  // leading up to it.  The recorder must outlive the injector.
+  void set_flight_recorder(obs::FlightRecorder* recorder) {
+    flight_ = recorder;
+  }
   const InjectorOptions& options() const { return options_; }
 
   // Invoked after every successfully applied event (flaps notify once when
@@ -190,6 +201,7 @@ class FaultInjector {
 
   trace::TraceCollector* trace_ = nullptr;
   MetricsRegistry* metrics_ = &MetricsRegistry::Global();
+  obs::FlightRecorder* flight_ = nullptr;
   EventListener listener_;
 };
 

@@ -44,6 +44,13 @@ std::uint64_t Histogram::BucketLow(std::size_t index) const {
   return base + (static_cast<std::uint64_t>(sub) << shift);
 }
 
+std::uint64_t Histogram::BucketHigh(std::size_t index) const {
+  // The bucket holds [low(i), low(i+1) - 1]; the last bucket is capped at
+  // max_value_ (RecordMany clamps values there).
+  if (index + 1 >= buckets_.size()) return max_value_;
+  return BucketLow(index + 1) - 1;
+}
+
 void Histogram::Record(std::uint64_t value) { RecordMany(value, 1); }
 
 void Histogram::RecordMany(std::uint64_t value, std::uint64_t n) {
@@ -67,14 +74,33 @@ double Histogram::mean() const {
 std::uint64_t Histogram::Percentile(double p) const {
   if (count_ == 0) return 0;
   p = std::clamp(p, 0.0, 100.0);
-  const auto target = static_cast<std::uint64_t>(
-      p / 100.0 * static_cast<double>(count_) + 0.5);
+  const double target = p / 100.0 * static_cast<double>(count_);
   std::uint64_t seen = 0;
   for (std::size_t i = 0; i < buckets_.size(); ++i) {
+    if (buckets_[i] == 0) continue;
+    const auto prev = static_cast<double>(seen);
     seen += buckets_[i];
-    if (seen >= target) return std::max<std::uint64_t>(BucketLow(i), min_);
+    if (static_cast<double>(seen) >= target) {
+      const std::uint64_t low = BucketLow(i);
+      const std::uint64_t high = BucketHigh(i);
+      const double frac = std::clamp(
+          (target - prev) / static_cast<double>(buckets_[i]), 0.0, 1.0);
+      const auto value = static_cast<std::uint64_t>(
+          static_cast<double>(low) +
+          frac * static_cast<double>(high - low) + 0.5);
+      return std::clamp(value, min(), max());
+    }
   }
   return max_;
+}
+
+std::vector<Histogram::Bucket> Histogram::NonZeroBuckets() const {
+  std::vector<Bucket> out;
+  for (std::size_t i = 0; i < buckets_.size(); ++i) {
+    if (buckets_[i] == 0) continue;
+    out.push_back(Bucket{BucketLow(i), BucketHigh(i), buckets_[i]});
+  }
+  return out;
 }
 
 void Histogram::Merge(const Histogram& other) {

@@ -1,6 +1,8 @@
 // Log-bucketed latency histogram (HdrHistogram-style, base-2 buckets with
 // linear sub-buckets).  Used to report loaded-latency distributions for the
-// Table 2 reproduction and the translation/coherence microbenchmarks.
+// Table 2 reproduction, and as the distribution instrument behind
+// MetricsRegistry::GetHistogram (flow durations, drain completion times,
+// recovery TTR) exported into the metrics JSON with p50/p99/p999.
 #pragma once
 
 #include <cstdint>
@@ -22,8 +24,14 @@ class Histogram {
   std::uint64_t max() const;
   double mean() const;
 
-  // p in [0, 100].
+  // p in [0, 100].  The target rank is interpolated linearly inside its
+  // bucket (ranks spread uniformly over [low, high]), then clamped to the
+  // recorded [min, max] so a single value reports itself exactly.
   std::uint64_t Percentile(double p) const;
+
+  std::uint64_t p50() const { return Percentile(50); }
+  std::uint64_t p99() const { return Percentile(99); }
+  std::uint64_t p999() const { return Percentile(99.9); }
 
   void Merge(const Histogram& other);
   void Reset();
@@ -31,10 +39,20 @@ class Histogram {
   // "count=... mean=... p50=... p99=... max=..."
   std::string Summary() const;
 
+  // Non-empty buckets, ascending, for structured exporters.  `high` is the
+  // largest value the bucket can hold (inclusive).
+  struct Bucket {
+    std::uint64_t low = 0;
+    std::uint64_t high = 0;
+    std::uint64_t count = 0;
+  };
+  std::vector<Bucket> NonZeroBuckets() const;
+
  private:
   static constexpr int kSubBucketBits = 6;  // 64 linear sub-buckets/octave
   std::size_t BucketIndex(std::uint64_t value) const;
   std::uint64_t BucketLow(std::size_t index) const;
+  std::uint64_t BucketHigh(std::size_t index) const;
 
   std::uint64_t max_value_;
   std::vector<std::uint64_t> buckets_;

@@ -33,6 +33,25 @@ void MetricsRegistry::SetGauge(std::string_view name, double value) {
   }
 }
 
+void MetricsRegistry::RecordValue(std::string_view name, std::uint64_t value,
+                                  std::uint64_t max_value) {
+  GetHistogram(name, max_value).Record(value);
+}
+
+Histogram& MetricsRegistry::GetHistogram(std::string_view name,
+                                         std::uint64_t max_value) {
+  auto it = histograms_.find(name);
+  if (it == histograms_.end()) {
+    it = histograms_.emplace(std::string(name), Histogram(max_value)).first;
+  }
+  return it->second;
+}
+
+const Histogram* MetricsRegistry::FindHistogram(std::string_view name) const {
+  auto it = histograms_.find(name);
+  return it == histograms_.end() ? nullptr : &it->second;
+}
+
 std::uint64_t MetricsRegistry::Counter(std::string_view name) const {
   auto it = counters_.find(name);
   return it == counters_.end() ? 0 : it->second;
@@ -45,12 +64,14 @@ double MetricsRegistry::Gauge(std::string_view name) const {
 
 bool MetricsRegistry::Has(std::string_view name) const {
   return counters_.find(name) != counters_.end() ||
-         gauges_.find(name) != gauges_.end();
+         gauges_.find(name) != gauges_.end() ||
+         histograms_.find(name) != histograms_.end();
 }
 
 void MetricsRegistry::Reset() {
   counters_.clear();
   gauges_.clear();
+  histograms_.clear();
 }
 
 std::string MetricsRegistry::Report() const {
@@ -61,6 +82,9 @@ std::string MetricsRegistry::Report() const {
   for (const auto& [name, value] : gauges_) {
     table.AddRow({name, TablePrinter::Num(value, 3), "gauge"});
   }
+  for (const auto& [name, hist] : histograms_) {
+    table.AddRow({name, hist.Summary(), "histogram"});
+  }
   return table.ToString();
 }
 
@@ -70,7 +94,11 @@ MetricsRegistry& MetricsRegistry::Global() {
 }
 
 ScopedTimer::ScopedTimer(MetricsRegistry* registry, std::string name)
-    : registry_(registry), name_(std::move(name)), start_ns_(NowNs()) {}
+    : registry_(registry),
+      name_(MetricsRegistry::IsWallMetric(name)
+                ? std::move(name)
+                : std::string(MetricsRegistry::kWallPrefix) + name),
+      start_ns_(NowNs()) {}
 
 ScopedTimer::~ScopedTimer() {
   if (registry_ != nullptr) {

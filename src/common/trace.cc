@@ -6,10 +6,9 @@
 #include "common/metrics.h"
 
 namespace lmp::trace {
-namespace {
 
 // Escapes a string for embedding inside a JSON string literal.
-std::string EscapeJson(std::string_view s) {
+std::string JsonEscape(std::string_view s) {
   std::string out;
   out.reserve(s.size() + 2);
   for (char c : s) {
@@ -44,7 +43,7 @@ std::string EscapeJson(std::string_view s) {
 
 // Renders a double as a JSON number deterministically.  %.17g round-trips
 // doubles exactly; integral values print without an exponent or fraction.
-std::string NumberJson(double v) {
+std::string JsonNumber(double v) {
   if (v == static_cast<double>(static_cast<std::int64_t>(v)) &&
       v >= -9.2e18 && v <= 9.2e18) {
     char buf[32];
@@ -56,6 +55,22 @@ std::string NumberJson(double v) {
   std::snprintf(buf, sizeof(buf), "%.17g", v);
   return buf;
 }
+
+Status WriteTextFile(const std::string& path, const std::string& contents) {
+  std::FILE* f = std::fopen(path.c_str(), "wb");
+  if (f == nullptr) {
+    return InvalidArgumentError("cannot open " + path + " for writing");
+  }
+  const std::size_t written =
+      std::fwrite(contents.data(), 1, contents.size(), f);
+  const int close_rc = std::fclose(f);
+  if (written != contents.size() || close_rc != 0) {
+    return InternalError("short write to " + path);
+  }
+  return Status::Ok();
+}
+
+namespace {
 
 // Timestamp in microseconds (the trace_event unit) from sim nanoseconds.
 // Fixed three decimal places keep full ns resolution and byte-stable
@@ -71,25 +86,11 @@ std::string RenderArgs(std::initializer_list<Arg> args) {
   for (const Arg& a : args) {
     if (!out.empty()) out += ',';
     out += '"';
-    out += EscapeJson(a.key);
+    out += JsonEscape(a.key);
     out += "\":";
     out += a.json_value;
   }
   return out;
-}
-
-Status WriteFile(const std::string& path, const std::string& contents) {
-  std::FILE* f = std::fopen(path.c_str(), "wb");
-  if (f == nullptr) {
-    return InvalidArgumentError("cannot open " + path + " for writing");
-  }
-  const std::size_t written =
-      std::fwrite(contents.data(), 1, contents.size(), f);
-  const int close_rc = std::fclose(f);
-  if (written != contents.size() || close_rc != 0) {
-    return InternalError("short write to " + path);
-  }
-  return Status::Ok();
 }
 
 }  // namespace
@@ -121,9 +122,9 @@ std::string_view CategoryName(Category cat) {
 }
 
 Arg::Arg(std::string_view k, std::string_view v)
-    : key(k), json_value('"' + EscapeJson(v) + '"') {}
+    : key(k), json_value('"' + JsonEscape(v) + '"') {}
 
-Arg::Arg(std::string_view k, double v) : key(k), json_value(NumberJson(v)) {}
+Arg::Arg(std::string_view k, double v) : key(k), json_value(JsonNumber(v)) {}
 
 Arg::Arg(std::string_view k, std::uint64_t v) : key(k) {
   char buf[24];
@@ -141,7 +142,7 @@ void TraceCollector::BeginProcess(std::string_view name) {
   ++pid_;
   events_.push_back(Event{'M', Category::kHarness, "process_name", pid_, 0,
                           0,
-                          "\"name\":\"" + EscapeJson(name) + '"'});
+                          "\"name\":\"" + JsonEscape(name) + '"'});
 }
 
 void TraceCollector::Push(char phase, Category cat, std::string_view name,
@@ -181,7 +182,7 @@ std::string TraceCollector::ToChromeJson() const {
     if (!first) out += ',';
     first = false;
     out += "{\"name\":\"";
-    out += EscapeJson(e.name);
+    out += JsonEscape(e.name);
     out += "\",\"cat\":\"";
     out += CategoryName(e.cat);
     out += "\",\"ph\":\"";
@@ -205,31 +206,73 @@ std::string TraceCollector::ToChromeJson() const {
 }
 
 Status TraceCollector::WriteChromeJson(const std::string& path) const {
-  return WriteFile(path, ToChromeJson());
+  return WriteTextFile(path, ToChromeJson());
 }
 
 std::string MetricsJson(const MetricsRegistry& registry) {
+  char buf[32];
+  const auto u64 = [&buf](std::uint64_t v) {
+    std::snprintf(buf, sizeof(buf), "%" PRIu64, v);
+    return std::string(buf);
+  };
   std::string out = "{\"counters\":{";
   bool first = true;
-  char buf[32];
   for (const auto& [name, value] : registry.counters()) {
+    if (MetricsRegistry::IsWallMetric(name)) continue;
     if (!first) out += ',';
     first = false;
     out += '"';
-    out += EscapeJson(name);
+    out += JsonEscape(name);
     out += "\":";
-    std::snprintf(buf, sizeof(buf), "%" PRIu64, value);
-    out += buf;
+    out += u64(value);
   }
   out += "},\"gauges\":{";
   first = true;
   for (const auto& [name, value] : registry.gauges()) {
+    if (MetricsRegistry::IsWallMetric(name)) continue;
     if (!first) out += ',';
     first = false;
     out += '"';
-    out += EscapeJson(name);
+    out += JsonEscape(name);
     out += "\":";
-    out += NumberJson(value);
+    out += JsonNumber(value);
+  }
+  out += "},\"histograms\":{";
+  first = true;
+  for (const auto& [name, hist] : registry.histograms()) {
+    if (MetricsRegistry::IsWallMetric(name)) continue;
+    if (!first) out += ',';
+    first = false;
+    out += '"';
+    out += JsonEscape(name);
+    out += "\":{\"count\":";
+    out += u64(hist.count());
+    out += ",\"min\":";
+    out += u64(hist.min());
+    out += ",\"max\":";
+    out += u64(hist.max());
+    out += ",\"mean\":";
+    out += JsonNumber(hist.mean());
+    out += ",\"p50\":";
+    out += u64(hist.p50());
+    out += ",\"p99\":";
+    out += u64(hist.p99());
+    out += ",\"p999\":";
+    out += u64(hist.p999());
+    out += ",\"buckets\":[";
+    bool first_bucket = true;
+    for (const Histogram::Bucket& b : hist.NonZeroBuckets()) {
+      if (!first_bucket) out += ',';
+      first_bucket = false;
+      out += '[';
+      out += u64(b.low);
+      out += ',';
+      out += u64(b.high);
+      out += ',';
+      out += u64(b.count);
+      out += ']';
+    }
+    out += "]}";
   }
   out += "}}";
   return out;
@@ -237,7 +280,7 @@ std::string MetricsJson(const MetricsRegistry& registry) {
 
 Status WriteMetricsJson(const MetricsRegistry& registry,
                         const std::string& path) {
-  return WriteFile(path, MetricsJson(registry));
+  return WriteTextFile(path, MetricsJson(registry));
 }
 
 }  // namespace lmp::trace

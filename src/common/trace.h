@@ -49,6 +49,18 @@ enum class Category : std::uint8_t {
 
 std::string_view CategoryName(Category cat);
 
+// Deterministic JSON building blocks, shared by every sidecar exporter
+// (trace, metrics, time series, SLO ledger, flight recorder) so all of
+// them render numbers and strings identically.
+//
+// JsonEscape: escapes for embedding inside a JSON string literal (no
+// surrounding quotes).  JsonNumber: renders a double byte-stably — %.17g
+// round-trips, integral values print without exponent or fraction.
+std::string JsonEscape(std::string_view s);
+std::string JsonNumber(double v);
+// Writes `contents` to `path` (wb), reporting short writes as errors.
+Status WriteTextFile(const std::string& path, const std::string& contents);
+
 // One key/value argument attached to an event.  The value is stored
 // pre-rendered as JSON (numbers unquoted, strings quoted and escaped), so
 // emission is a single append at export time.
@@ -134,8 +146,13 @@ class TraceCollector {
 };
 
 // Structured JSON dump of `registry`:
-// {"counters":{name:value,...},"gauges":{name:value,...}} with keys in
-// sorted (map) order.  Every registered counter appears.
+// {"counters":{name:value,...},"gauges":{name:value,...},
+//  "histograms":{name:{count,min,max,mean,p50,p99,p999,
+//                      buckets:[[low,high,count],...]},...}}
+// with keys in sorted (map) order.  Every registered metric appears EXCEPT
+// the "wall." namespace: those carry wall-clock readings (ScopedTimer,
+// solver timing) and would break the byte-determinism contract, so they
+// stay operator-only (MetricsRegistry::Report).
 std::string MetricsJson(const MetricsRegistry& registry);
 Status WriteMetricsJson(const MetricsRegistry& registry,
                         const std::string& path);

@@ -92,6 +92,11 @@ class AdmissionController {
   Status Release(LeaseId id);
   StatusOr<Lease> Get(LeaseId id) const;
 
+  // Every lease ever requested (id order == arrival order), including
+  // queued and released ones — callers filter on state.  The SLO ledger
+  // walks this each epoch to score active tenants.
+  const std::map<LeaseId, Lease>& leases() const { return leases_; }
+
   // Epoch refresh from the controller: `capacity` is the current best-case
   // lease capacity, `organic_demand` the estimator's non-lease demand.
   // Preempts active leases that no longer fit (lowest priority first) and

@@ -4,6 +4,7 @@
 
 #include "common/logging.h"
 #include "common/trace.h"
+#include "ctrl/slo_ledger.h"
 
 namespace lmp::ctrl {
 
@@ -389,6 +390,8 @@ void SizingController::RetryShrink(cluster::ServerId server) {
     stats_.resize_bytes += landed;
     metrics_->Increment("ctrl.shrinks");
     metrics_->Increment("ctrl.drains_completed");
+    metrics_->RecordValue("ctrl.drain_duration_ns",
+                          static_cast<std::uint64_t>(now - drain.started));
     if (partial) {
       ++stats_.shrinks_partial;
       metrics_->Increment("ctrl.shrinks_partial");
@@ -418,6 +421,8 @@ void SizingController::RunMigrationRound(SimTime now) {
   metrics_->Increment("ctrl.migrations",
                       static_cast<std::uint64_t>(round.migrated));
   metrics_->Increment("ctrl.migration_bytes", round.bytes_moved);
+  metrics_->RecordValue("ctrl.migration_round_segments",
+                        static_cast<std::uint64_t>(round.migrated));
   for (const core::MigrationRecord& rec : records) {
     PriceTransfer(rec.from, rec.to, rec.bytes, cluster::ServerId(-1));
   }
@@ -433,6 +438,16 @@ void SizingController::ExportEpochTelemetry(const core::SizingPlan& plan,
   metrics_->SetGauge("ctrl.planned_local_fraction", plan.LocalFraction());
   metrics_->SetGauge("ctrl.pending_drains",
                      static_cast<double>(drains_.size()));
+  if (slo_ledger_ != nullptr) {
+    // A lease's locality experience is its host server's, not the
+    // cluster-wide average ExportEpochTelemetry just published.
+    for (const auto& [id, lease] : admission_.leases()) {
+      if (lease.state != LeaseState::kActive) continue;
+      slo_ledger_->RecordLocalFraction(
+          lease.spec.name,
+          estimator_.ObservedLocalFraction(now, lease.server));
+    }
+  }
 }
 
 }  // namespace lmp::ctrl

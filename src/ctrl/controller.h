@@ -52,6 +52,8 @@ class TraceCollector;
 
 namespace lmp::ctrl {
 
+class SloLedger;
+
 struct ControllerConfig {
   SimTime period = Milliseconds(100);
   // Damping: ignore resizes smaller than this (hysteresis band) and let a
@@ -121,6 +123,10 @@ class SizingController {
 
   void set_metrics(MetricsRegistry* registry);
   void set_trace(trace::TraceCollector* collector) { trace_ = collector; }
+  // With a ledger bound, every epoch scores each ACTIVE lease's observed
+  // local fraction (at the lease's host server) against the tenant's
+  // registered targets.  The ledger must outlive the controller.
+  void set_slo_ledger(SloLedger* ledger) { slo_ledger_ = ledger; }
 
  private:
   struct Drain {
@@ -161,6 +167,7 @@ class SizingController {
   ControllerStats stats_;
   MetricsRegistry* metrics_ = &MetricsRegistry::Global();
   trace::TraceCollector* trace_ = nullptr;
+  SloLedger* slo_ledger_ = nullptr;
 };
 
 }  // namespace lmp::ctrl

@@ -103,6 +103,19 @@ double DemandEstimator::ObservedLocalFraction(SimTime now) const {
   return total == 0 ? 1.0 : local / total;
 }
 
+double DemandEstimator::ObservedLocalFraction(
+    SimTime now, cluster::ServerId server) const {
+  const core::AccessTracker& tracker = manager_->access_tracker();
+  double local = 0, total = 0;
+  manager_->segment_map().ForEach([&](const core::SegmentInfo& info) {
+    if (info.state == core::SegmentState::kLost) return;
+    const double bytes = tracker.AccessedBytes(info.id, server, now);
+    total += bytes;
+    if (!info.home.is_pool() && info.home.server == server) local += bytes;
+  });
+  return total == 0 ? 1.0 : local / total;
+}
+
 Bytes DemandEstimator::SmoothedOrganicDemand() const {
   double sum = 0;
   for (const PerServer& s : servers_) sum += s.smoothed;

@@ -65,6 +65,13 @@ class DemandEstimator {
   // recorded traffic.
   double ObservedLocalFraction(SimTime now) const;
 
+  // Same fraction restricted to one server's own accesses: how much of
+  // `server`'s recent traffic hit segments homed on `server`.  1.0 when
+  // the server has no recorded traffic.  Feeds per-lease SLO accounting
+  // (a lease's locality experience is its host server's, not the
+  // cluster-wide average).
+  double ObservedLocalFraction(SimTime now, cluster::ServerId server) const;
+
   // Last smoothed organic (non-lease) demand, summed over servers; the
   // admission controller subtracts this from capacity to get headroom.
   Bytes SmoothedOrganicDemand() const;

@@ -1,0 +1,68 @@
+#include "obs/flight_recorder.h"
+
+#include <cinttypes>
+#include <cstdio>
+
+#include "common/trace.h"
+
+namespace lmp::obs {
+
+FlightRecorder::FlightRecorder(std::size_t capacity)
+    : capacity_(capacity == 0 ? 1 : capacity) {}
+
+void FlightRecorder::Record(SimTime ts, std::string_view kind,
+                            std::string_view detail) {
+  if (ring_.size() == capacity_) ring_.pop_front();
+  ring_.push_back(
+      Event{next_seq_++, ts, std::string(kind), std::string(detail)});
+}
+
+void FlightRecorder::SnapshotPostmortem(std::string_view reason, SimTime ts) {
+  Postmortem pm;
+  pm.reason = std::string(reason);
+  pm.ts = ts;
+  pm.events.assign(ring_.begin(), ring_.end());
+  postmortems_.push_back(std::move(pm));
+}
+
+std::string FlightRecorder::PostmortemJson() const {
+  char buf[32];
+  std::string out = "{\"capacity\":";
+  std::snprintf(buf, sizeof(buf), "%zu", capacity_);
+  out += buf;
+  out += ",\"postmortems\":[";
+  bool first_pm = true;
+  for (const Postmortem& pm : postmortems_) {
+    if (!first_pm) out += ',';
+    first_pm = false;
+    out += "{\"reason\":\"";
+    out += trace::JsonEscape(pm.reason);
+    out += "\",\"ts_ns\":";
+    out += trace::JsonNumber(pm.ts);
+    out += ",\"events\":[";
+    bool first_ev = true;
+    for (const Event& e : pm.events) {
+      if (!first_ev) out += ',';
+      first_ev = false;
+      out += "{\"seq\":";
+      std::snprintf(buf, sizeof(buf), "%" PRIu64, e.seq);
+      out += buf;
+      out += ",\"ts_ns\":";
+      out += trace::JsonNumber(e.ts);
+      out += ",\"kind\":\"";
+      out += trace::JsonEscape(e.kind);
+      out += "\",\"detail\":\"";
+      out += trace::JsonEscape(e.detail);
+      out += "\"}";
+    }
+    out += "]}";
+  }
+  out += "]}";
+  return out;
+}
+
+Status FlightRecorder::WritePostmortem(const std::string& path) const {
+  return trace::WriteTextFile(path, PostmortemJson());
+}
+
+}  // namespace lmp::obs

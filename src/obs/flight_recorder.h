@@ -1,0 +1,77 @@
+// Chaos flight recorder (lmp::obs).
+//
+// A bounded ring of recent notable events (fault injections, recovery
+// transfers, control-plane actions).  When something catastrophic happens
+// — a server crash, a rack failure — the owner snapshots the ring into a
+// postmortem: "what were the last N things the system did before this?".
+// All postmortems accumulated over a run export as one JSON document, so
+// a fault plan with several crashes yields several dated snapshots.
+//
+// Determinism contract: timestamps are simulated time and details are
+// caller-rendered strings derived from simulation state, so the
+// postmortem file is byte-identical across runs.
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "common/status.h"
+#include "common/units.h"
+
+namespace lmp::obs {
+
+class FlightRecorder {
+ public:
+  static constexpr std::size_t kDefaultCapacity = 256;
+
+  explicit FlightRecorder(std::size_t capacity = kDefaultCapacity);
+
+  FlightRecorder(const FlightRecorder&) = delete;
+  FlightRecorder& operator=(const FlightRecorder&) = delete;
+
+  // Appends one event; the oldest event is dropped once the ring is full.
+  // `kind` is a short stable tag ("fault.crash", "recovery.start");
+  // `detail` is free-form human-readable context.
+  void Record(SimTime ts, std::string_view kind, std::string_view detail);
+
+  // Freezes the current ring contents (plus the trigger itself) into a
+  // postmortem labelled `reason`.  The ring keeps running afterwards, so
+  // later crashes capture later context.
+  void SnapshotPostmortem(std::string_view reason, SimTime ts);
+
+  std::size_t capacity() const { return capacity_; }
+  std::size_t event_count() const { return ring_.size(); }
+  std::uint64_t total_recorded() const { return next_seq_; }
+  std::size_t postmortem_count() const { return postmortems_.size(); }
+
+  // {"capacity":N,"postmortems":[{"reason":...,"ts_ns":...,
+  //   "events":[{"seq":...,"ts_ns":...,"kind":...,"detail":...},...]},...]}
+  // Sequence numbers are global across the run, so consumers can see how
+  // many events fell off the ring between snapshots.
+  std::string PostmortemJson() const;
+  Status WritePostmortem(const std::string& path) const;
+
+ private:
+  struct Event {
+    std::uint64_t seq;
+    SimTime ts;
+    std::string kind;
+    std::string detail;
+  };
+
+  struct Postmortem {
+    std::string reason;
+    SimTime ts;
+    std::vector<Event> events;
+  };
+
+  std::size_t capacity_;
+  std::deque<Event> ring_;
+  std::uint64_t next_seq_ = 0;
+  std::vector<Postmortem> postmortems_;
+};
+
+}  // namespace lmp::obs

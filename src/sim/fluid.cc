@@ -126,9 +126,20 @@ void FluidSimulator::FinishRecord(FlowId id) {
   if (it == records_.end()) return;
   it->second.done = true;
   it->second.end = now_;
+  if (flow_duration_hist_ != nullptr) {
+    flow_duration_hist_->Record(
+        static_cast<std::uint64_t>(now_ - it->second.start));
+  }
   if (trace_ != nullptr) {
     trace_->End(trace::Category::kFlow, "flow", id, now_);
   }
+}
+
+void FluidSimulator::set_metrics(MetricsRegistry* registry) {
+  flow_duration_hist_ =
+      registry == nullptr
+          ? nullptr
+          : &registry->GetHistogram("fluid.flow_duration_ns");
 }
 
 FlowId FluidSimulator::StartFlow(double bytes,
@@ -761,7 +772,9 @@ void FluidSimulator::ExportSolverMetrics(MetricsRegistry& registry) {
                      stats_.shard_tasks - exported_.shard_tasks);
   registry.Increment("fluid.solver.parallel_solves",
                      stats_.parallel_solves - exported_.parallel_solves);
-  registry.Increment("fluid.solver.solve_ns",
+  // Wall clock, not sim time: the wall. namespace keeps it out of the
+  // byte-deterministic metrics JSON.
+  registry.Increment("wall.fluid.solver.solve_ns",
                      stats_.solve_ns - exported_.solve_ns);
   exported_ = stats_;
 }

@@ -48,6 +48,7 @@
 #include "common/units.h"
 
 namespace lmp {
+class Histogram;
 class MetricsRegistry;
 }
 
@@ -229,8 +230,16 @@ class FluidSimulator {
 
   // Adds the stats accumulated since the previous export to `registry` as
   // counters fluid.solver.{recompute_calls,flows_touched,full_solves,
-  // shard_tasks,parallel_solves}.
+  // shard_tasks,parallel_solves}.  solve_ns is wall clock, so it exports
+  // as wall.fluid.solver.solve_ns — excluded from the deterministic
+  // metrics JSON (see MetricsRegistry::kWallPrefix).
   void ExportSolverMetrics(MetricsRegistry& registry);
+
+  // Optional distribution sink: completed flows record their sim-time
+  // duration into the registry's "fluid.flow_duration_ns" histogram.
+  // Null (the default) records nothing; rates and events are identical
+  // either way.
+  void set_metrics(MetricsRegistry* registry);
 
   // Tracing -----------------------------------------------------------------
 
@@ -384,6 +393,7 @@ class FluidSimulator {
   bool crosscheck_ = false;
   bool solver_timing_ = false;
   RecordRetention retention_ = RecordRetention::kKeepAll;
+  Histogram* flow_duration_hist_ = nullptr;  // owned by the metrics registry
   trace::TraceCollector* trace_ = nullptr;
   SolverStats stats_;
   SolverStats exported_;  // high-water mark of the last ExportSolverMetrics

@@ -2,8 +2,10 @@
 // table printer.
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <cmath>
 #include <set>
+#include <vector>
 
 #include "common/histogram.h"
 #include "common/rng.h"
@@ -253,6 +255,63 @@ TEST(HistogramTest, ResetClears) {
   h.Record(5);
   h.Reset();
   EXPECT_EQ(h.count(), 0u);
+}
+
+TEST(HistogramTest, SingleValueReportsItselfExactly) {
+  // Within-bucket interpolation clamps to [min, max], so a lone sample is
+  // reported exactly at every percentile — not smeared across its bucket.
+  Histogram h;
+  h.Record(163);
+  for (const double p : {0.0, 50.0, 99.0, 99.9, 100.0}) {
+    EXPECT_EQ(h.Percentile(p), 163u) << "p=" << p;
+  }
+}
+
+TEST(HistogramTest, RepeatedLargeValueExactViaClamp) {
+  // A large value lands in a wide bucket; the [min, max] clamp keeps the
+  // report exact even when every sample is identical.
+  Histogram h;
+  h.RecordMany(1'000'000, 100);
+  EXPECT_EQ(h.Percentile(50), 1'000'000u);
+  EXPECT_EQ(h.p999(), 1'000'000u);
+}
+
+TEST(HistogramTest, P999TracksTheTail) {
+  Histogram h;
+  for (std::uint64_t v = 1; v <= 100000; ++v) h.Record(v);
+  EXPECT_LE(h.p99(), h.p999());
+  EXPECT_LE(h.p999(), h.max());
+  EXPECT_NEAR(static_cast<double>(h.p999()), 99900, 2000);
+}
+
+TEST(HistogramTest, ValuesAboveMaxClampToMax) {
+  Histogram h(1000);
+  h.Record(50000);
+  EXPECT_EQ(h.max(), 1000u);
+  EXPECT_EQ(h.Percentile(100), 1000u);
+}
+
+TEST(HistogramTest, NonZeroBucketsCoverRecordedValues) {
+  Histogram h;
+  const std::vector<std::uint64_t> values = {1, 7, 500, 40000, 1ull << 30};
+  for (const std::uint64_t v : values) h.Record(v);
+  const auto buckets = h.NonZeroBuckets();
+  std::uint64_t total = 0;
+  std::uint64_t prev_high = 0;
+  for (const auto& b : buckets) {
+    EXPECT_LE(b.low, b.high);
+    if (total > 0) EXPECT_GT(b.low, prev_high);  // ascending, disjoint
+    prev_high = b.high;
+    total += b.count;
+  }
+  EXPECT_EQ(total, h.count());
+  for (const std::uint64_t v : values) {
+    const bool covered =
+        std::any_of(buckets.begin(), buckets.end(), [v](const auto& b) {
+          return b.low <= v && v <= b.high;
+        });
+    EXPECT_TRUE(covered) << v;
+  }
 }
 
 TEST(HistogramTest, LargeValuesBounded) {

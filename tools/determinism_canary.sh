@@ -1,0 +1,38 @@
+#!/bin/sh
+# Determinism canary: run a bench twice with every observability sidecar
+# enabled and assert the files — and stdout — are byte-identical.  The
+# metrics comparison additionally goes through tools/metrics_diff.py when
+# python3 is available, exercising the structured differ.
+#
+# Usage: determinism_canary.sh <bench-binary> <scratch-dir> [bench args...]
+set -eu
+
+bench="$1"
+scratch="$2"
+shift 2
+
+mkdir -p "$scratch"
+tools_dir="$(dirname "$0")"
+
+for run in 1 2; do
+  "$bench" "$@" \
+    --series-out="$scratch/$run.series.json" \
+    --slo-out="$scratch/$run.slo.json" \
+    --metrics-out="$scratch/$run.metrics.json" \
+    > "$scratch/$run.stdout" 2> "$scratch/$run.stderr"
+done
+
+status=0
+for kind in series.json slo.json metrics.json stdout; do
+  if ! cmp -s "$scratch/1.$kind" "$scratch/2.$kind"; then
+    echo "determinism_canary: $kind differs between runs" >&2
+    status=1
+  fi
+done
+
+if command -v python3 > /dev/null 2>&1; then
+  python3 "$tools_dir/metrics_diff.py" \
+    "$scratch/1.metrics.json" "$scratch/2.metrics.json" || status=1
+fi
+
+exit $status

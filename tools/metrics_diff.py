@@ -1,0 +1,115 @@
+#!/usr/bin/env python3
+"""Compare two metrics JSON sidecars (--metrics-out= dumps).
+
+Counters must match exactly; gauges, histogram means, and histogram
+percentiles compare within a relative epsilon (default 0, i.e. exact —
+the deterministic export should be byte-identical, so any epsilon is an
+explicit concession).  Histogram bucket arrays and counts compare
+exactly.  Also works on --series-out= and --slo-out= sidecars via
+--mode=exact, which just canonicalises and compares the whole document.
+
+Exit status: 0 when the files agree, 1 on any difference, 2 on usage or
+I/O errors.  Differences are listed one per line as
+
+    <kind> <name>: <a-value> != <b-value>
+
+so a CI canary can surface the first regression directly.
+"""
+
+import argparse
+import json
+import sys
+
+
+def load(path):
+    try:
+        with open(path, "r", encoding="utf-8") as f:
+            return json.load(f)
+    except (OSError, ValueError) as e:
+        print(f"metrics_diff: cannot read {path}: {e}", file=sys.stderr)
+        sys.exit(2)
+
+
+def close(a, b, eps):
+    if a == b:
+        return True
+    if eps <= 0:
+        return False
+    scale = max(abs(a), abs(b))
+    return scale > 0 and abs(a - b) / scale <= eps
+
+
+def diff_maps(kind, a, b, out, value_diff):
+    for name in sorted(set(a) | set(b)):
+        if name not in a:
+            out.append(f"{kind} {name}: only in B (= {b[name]})")
+        elif name not in b:
+            out.append(f"{kind} {name}: only in A (= {a[name]})")
+        else:
+            value_diff(name, a[name], b[name], out)
+
+
+def diff_metrics(a, b, eps):
+    out = []
+
+    def exact(name, va, vb, out):
+        if va != vb:
+            out.append(f"counter {name}: {va} != {vb}")
+
+    def approx(name, va, vb, out):
+        if not close(float(va), float(vb), eps):
+            out.append(f"gauge {name}: {va} != {vb}")
+
+    def hist(name, ha, hb, out):
+        for field in ("count", "min", "max", "buckets"):
+            if ha.get(field) != hb.get(field):
+                out.append(
+                    f"histogram {name}.{field}: "
+                    f"{ha.get(field)} != {hb.get(field)}")
+        for field in ("mean", "p50", "p99", "p999"):
+            va, vb = ha.get(field, 0), hb.get(field, 0)
+            if not close(float(va), float(vb), eps):
+                out.append(f"histogram {name}.{field}: {va} != {vb}")
+
+    diff_maps("counter", a.get("counters", {}), b.get("counters", {}),
+              out, exact)
+    diff_maps("gauge", a.get("gauges", {}), b.get("gauges", {}),
+              out, approx)
+    diff_maps("histogram", a.get("histograms", {}), b.get("histograms", {}),
+              out, hist)
+    return out
+
+
+def main():
+    parser = argparse.ArgumentParser(
+        description="Diff two metrics/series/slo JSON sidecars.")
+    parser.add_argument("a")
+    parser.add_argument("b")
+    parser.add_argument(
+        "--epsilon", type=float, default=0.0,
+        help="relative tolerance for gauges and histogram stats "
+             "(default 0 = exact)")
+    parser.add_argument(
+        "--mode", choices=("metrics", "exact"), default="metrics",
+        help="'metrics' understands the counters/gauges/histograms "
+             "schema; 'exact' compares any JSON document canonically")
+    args = parser.parse_args()
+
+    a, b = load(args.a), load(args.b)
+    if args.mode == "exact":
+        if a == b:
+            return 0
+        print(f"documents differ: {args.a} vs {args.b}")
+        return 1
+
+    diffs = diff_metrics(a, b, args.epsilon)
+    for line in diffs:
+        print(line)
+    if diffs:
+        print(f"{len(diffs)} difference(s)")
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
