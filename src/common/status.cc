@@ -56,6 +56,9 @@ Status UnimplementedError(std::string message) {
   return Status(StatusCode::kUnimplemented, std::move(message));
 }
 
+bool IsInvalidArgument(const Status& s) {
+  return s.code() == StatusCode::kInvalidArgument;
+}
 bool IsOutOfMemory(const Status& s) {
   return s.code() == StatusCode::kOutOfMemory;
 }

@@ -70,6 +70,7 @@ Status DataLossError(std::string message);
 Status InternalError(std::string message);
 Status UnimplementedError(std::string message);
 
+bool IsInvalidArgument(const Status& s);
 bool IsOutOfMemory(const Status& s);
 bool IsNotFound(const Status& s);
 bool IsUnavailable(const Status& s);

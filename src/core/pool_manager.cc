@@ -413,6 +413,7 @@ Status PoolManager::AccessImpl(cluster::ServerId from, BufferId buffer,
       return FailedPreconditionError(
           "cluster built without backing stores; use Touch()");
     }
+    const Bytes piece_start = cursor;
     LMP_ASSIGN_OR_RETURN(
         auto extents,
         local_maps_.at(si->home).Resolve(p.segment, p.seg_offset, p.len));
@@ -424,6 +425,25 @@ Status PoolManager::AccessImpl(cluster::ServerId from, BufferId buffer,
         store->Write(byte_off, write_in.subspan(cursor, e.length));
       }
       cursor += e.length;
+    }
+    if (read_out.empty() && !si->replicas.empty()) {
+      // Write-through to every replica.  Failure masking (§5) and the
+      // zero-copy migration fast path both promote a replica wholesale, so
+      // the copies must track the primary byte-for-byte — a point-in-time
+      // copy silently reverts every write made since protection.
+      for (const Location& rep : si->replicas) {
+        mem::BackingStore* rstore = BackingAt(rep);
+        if (rstore == nullptr) continue;
+        LMP_ASSIGN_OR_RETURN(
+            auto rep_extents,
+            local_maps_.at(rep).Resolve(p.segment, p.seg_offset, p.len));
+        Bytes rep_cursor = piece_start;
+        for (const PhysicalExtent& e : rep_extents) {
+          rstore->Write(e.frame * frame_size + e.offset_in_frame,
+                        write_in.subspan(rep_cursor, e.length));
+          rep_cursor += e.length;
+        }
+      }
     }
   }
   return Status::Ok();

@@ -7,6 +7,11 @@
 // distinct live servers.  PoolManager::OnServerCrash promotes a surviving
 // replica to primary; RestoreRedundancy() then re-creates the missing
 // copies so a second crash is survivable too.
+//
+// Replicas are write-through: PoolManager::Write mirrors the bytes into
+// every replica's frames, so a promoted replica (crash failover or the
+// migration fast path) is always byte-identical to the primary it
+// replaces.
 #pragma once
 
 #include <cstdint>

@@ -10,6 +10,12 @@ SpanStream::SpanStream(FluidSimulator* sim, std::vector<Span> spans)
   for (const Span& s : spans_) total_bytes_ += s.bytes;
 }
 
+void SpanStream::set_on_complete(CompletionCallback cb) {
+  LMP_CHECK(!on_complete_) << "SpanStream completion callback set twice";
+  on_complete_ = std::move(cb);
+  if (done_ && on_complete_) Complete();
+}
+
 void SpanStream::Start() {
   LMP_CHECK(!started_) << "SpanStream started twice";
   started_ = true;
@@ -21,9 +27,13 @@ void SpanStream::StartNext() {
   if (next_ >= spans_.size()) {
     done_ = true;
     end_time_ = sim_->now();
+    Complete();
     return;
   }
   const Span& s = spans_[next_++];
+  // Zero-byte spans and empty paths complete inside StartFlow, but their
+  // callback — like every flow callback — arrives via a deferred timer, so
+  // a chain of degenerate spans never recurses through StartNext.
   sim_->StartFlow(s.bytes, s.path,
                   [this](FlowId f, SimTime) {
                     // The stream keeps its own aggregates; retire the
@@ -32,6 +42,23 @@ void SpanStream::StartNext() {
                     StartNext();
                   },
                   s.weight);
+}
+
+void SpanStream::Complete() {
+  if (!on_complete_) return;
+  // Defer through a zero-delay timer: for an empty span list StartNext()
+  // completes synchronously inside Start(), and even a completion arriving
+  // from a flow callback sits inside the simulator's dispatch loop.  The
+  // deferral lets the callback destroy this stream or start new ones
+  // without re-entering either context.  The callable is moved into the
+  // timer so destroying the stream before it fires cannot free it, but the
+  // stream itself must stay alive until the timer runs (op layers keep the
+  // stream inside the op it completes).
+  auto cb = std::move(on_complete_);
+  on_complete_ = nullptr;
+  sim_->ScheduleAt(sim_->now(), [this, cb = std::move(cb)](SimTime) {
+    cb(*this);
+  });
 }
 
 ParallelRunResult RunStreams(

@@ -4,9 +4,12 @@
 // ordered list of memory spans: span i+1 starts only when span i finishes.
 // The vector-sum microbenchmark runs 14 of these concurrently, one per core,
 // each walking its slice of the vector (local spans at DRAM speed, remote
-// spans through the fabric link).
+// spans through the fabric link).  The request/op engine (src/ops) chains
+// one SpanStream per priced access, advancing op state machines from the
+// stream's completion callback.
 #pragma once
 
+#include <functional>
 #include <memory>
 #include <vector>
 
@@ -27,6 +30,8 @@ struct Span {
 
 class SpanStream {
  public:
+  using CompletionCallback = std::function<void(SpanStream&)>;
+
   // The stream registers its own continuation callbacks with `sim`; the
   // object must outlive the simulation run.  Completed span records are
   // released back to the simulator (the stream tracks its own start/end
@@ -36,6 +41,14 @@ class SpanStream {
   SpanStream(const SpanStream&) = delete;
   SpanStream& operator=(const SpanStream&) = delete;
 
+  // Completion callback, fired once when the last span finishes.  ALWAYS
+  // deferred through a zero-delay timer — never invoked synchronously from
+  // inside Start(), even for degenerate chains (empty span lists, zero-byte
+  // spans, single-span chains) — so the callback may freely start new
+  // streams, destroy this one, or re-enter the simulator.  Set before
+  // Start(); a callback set on an already-done stream is also deferred.
+  void set_on_complete(CompletionCallback cb);
+
   // Begins the first span at the simulator's current time.
   void Start();
 
@@ -43,9 +56,11 @@ class SpanStream {
   SimTime start_time() const { return start_time_; }
   SimTime end_time() const { return end_time_; }
   double total_bytes() const { return total_bytes_; }
+  std::size_t span_count() const { return spans_.size(); }
 
  private:
   void StartNext();
+  void Complete();
 
   FluidSimulator* sim_;
   std::vector<Span> spans_;
@@ -55,6 +70,7 @@ class SpanStream {
   SimTime start_time_ = 0;
   SimTime end_time_ = 0;
   double total_bytes_ = 0;
+  CompletionCallback on_complete_;
 };
 
 struct ParallelRunResult {

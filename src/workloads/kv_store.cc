@@ -4,8 +4,16 @@
 #include <cstring>
 
 #include "common/logging.h"
+#include "fabric/link.h"
 
 namespace lmp::workloads {
+
+Status PoolKvStore::CheckKey(std::uint64_t key) {
+  if (key > kMaxKey) {
+    return InvalidArgumentError("key wraps onto a record-tag sentinel");
+  }
+  return Status::Ok();
+}
 
 std::uint64_t PoolKvStore::Hash(std::uint64_t key) {
   // SplitMix64 finalizer: strong enough for table distribution.
@@ -56,6 +64,7 @@ Status PoolKvStore::Put(cluster::ServerId from, std::uint64_t key,
   if (value.size() > kValueSize) {
     return InvalidArgumentError("value exceeds 56 bytes");
   }
+  LMP_RETURN_IF_ERROR(CheckKey(key));
   const std::uint64_t tag = key + 2;
   std::uint64_t bucket = Hash(key) & (buckets_ - 1);
   std::optional<std::uint64_t> first_tombstone;
@@ -91,6 +100,7 @@ Status PoolKvStore::Put(cluster::ServerId from, std::uint64_t key,
 StatusOr<PoolKvStore::Value> PoolKvStore::Get(cluster::ServerId from,
                                               std::uint64_t key,
                                               SimTime now) {
+  LMP_RETURN_IF_ERROR(CheckKey(key));
   const std::uint64_t tag = key + 2;
   std::uint64_t bucket = Hash(key) & (buckets_ - 1);
   for (std::uint64_t probe = 0; probe < buckets_; ++probe) {
@@ -105,6 +115,7 @@ StatusOr<PoolKvStore::Value> PoolKvStore::Get(cluster::ServerId from,
 
 Status PoolKvStore::Delete(cluster::ServerId from, std::uint64_t key,
                            SimTime now) {
+  LMP_RETURN_IF_ERROR(CheckKey(key));
   const std::uint64_t tag = key + 2;
   std::uint64_t bucket = Hash(key) & (buckets_ - 1);
   for (std::uint64_t probe = 0; probe < buckets_; ++probe) {
@@ -126,15 +137,32 @@ Status PoolKvStore::Delete(cluster::ServerId from, std::uint64_t key,
 Status PoolKvStore::PutLocked(core::DistributedLock* lock,
                               cluster::ServerId from, std::uint64_t key,
                               std::span<const std::byte> value, SimTime now,
-                              int max_spins) {
+                              int max_spins, SimTime spin_rtt,
+                              SimTime* completed_at) {
   if (lock == nullptr) return InvalidArgumentError("null lock");
+  if (spin_rtt <= 0) spin_rtt = fabric::LinkProfile::Link0().min_latency_ns;
+  // Each TryLock is a CAS round trip to the coherent region: it costs wall
+  // time and directory traffic whether it wins or loses, so losing spins
+  // advance the clock instead of retrying at the same instant.
+  SimTime clock = now;
   bool held = false;
   for (int spin = 0; spin < max_spins; ++spin) {
-    LMP_ASSIGN_OR_RETURN(held, lock->TryLock(static_cast<int>(from)));
+    clock += spin_rtt;
+    auto held_or = lock->TryLock(static_cast<int>(from));
+    if (!held_or.ok()) {
+      if (completed_at) *completed_at = clock;
+      return held_or.status();
+    }
+    held = *held_or;
     if (held) break;
   }
-  if (!held) return UnavailableError("kv lock held too long");
-  const Status put = Put(from, key, value, now);
+  if (!held) {
+    if (completed_at) *completed_at = clock;
+    return UnavailableError("kv lock held too long");
+  }
+  const Status put = Put(from, key, value, clock);
+  clock += spin_rtt;  // the unlock store pays its round trip too
+  if (completed_at) *completed_at = clock;
   LMP_RETURN_IF_ERROR(lock->Unlock(static_cast<int>(from)));
   return put;
 }

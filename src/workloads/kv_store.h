@@ -23,6 +23,11 @@ class PoolKvStore {
  public:
   static constexpr std::size_t kValueSize = 56;
   using Value = std::array<std::byte, kValueSize>;
+  // Record tags are key+2 so 0/1 can mark empty/tombstone; the top two keys
+  // would wrap onto those sentinels (a live record indistinguishable from
+  // an empty or deleted slot — clobbered on the next colliding Put).  All
+  // operations reject them with kInvalidArgument.
+  static constexpr std::uint64_t kMaxKey = ~0ull - 2;
 
   // Capacity is rounded up to a power of two bucket count.
   static StatusOr<PoolKvStore> Create(Pool* pool, std::uint64_t capacity,
@@ -42,9 +47,18 @@ class PoolKvStore {
   // pool's coherent region (§3.2 — coordination is exactly what the small
   // coherent slice exists for).  Spins on TryLock up to `max_spins`;
   // returns kUnavailable if the lock never frees (a wedged peer).
+  //
+  // Time model: every TryLock attempt — successful or not — is a CAS round
+  // trip to the coherent region and costs `spin_rtt` of simulated time
+  // (<= 0 uses Link0's unloaded round trip), as does the final unlock.  The
+  // put itself runs at the advanced clock, so contention shows up in the
+  // hotness profile's timestamps; `completed_at` (optional) reports when
+  // the call — including a kUnavailable timeout, which takes
+  // max_spins * spin_rtt, never zero time — finished.
   Status PutLocked(core::DistributedLock* lock, cluster::ServerId from,
                    std::uint64_t key, std::span<const std::byte> value,
-                   SimTime now = 0, int max_spins = 1000);
+                   SimTime now = 0, int max_spins = 1000,
+                   SimTime spin_rtt = 0, SimTime* completed_at = nullptr);
 
   std::uint64_t size() const { return size_; }
   std::uint64_t bucket_count() const { return buckets_; }
@@ -66,6 +80,7 @@ class PoolKvStore {
       : pool_(pool), buffer_(buffer), buckets_(buckets) {}
 
   static std::uint64_t Hash(std::uint64_t key);
+  static Status CheckKey(std::uint64_t key);
   StatusOr<Record> LoadRecord(cluster::ServerId from, std::uint64_t bucket,
                               SimTime now);
   Status StoreRecord(cluster::ServerId from, std::uint64_t bucket,

@@ -1,0 +1,236 @@
+// Randomized reference-model tests for PoolBtree, and the determinism
+// contract for the async op engine on top of it.
+//
+// The fuzz leg interleaves random insert/erase/lookup/scan with structural
+// churn — segment migrations, drain-backed compaction, and one injected
+// crash masked by replication — and must match a std::map reference
+// exactly throughout.  The determinism leg runs the same async workload at
+// --threads=1 and --threads=8 and requires byte-identical metrics and
+// time-series exports.
+#include <gtest/gtest.h>
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "baselines/logical.h"
+#include "common/logging.h"
+#include "common/rng.h"
+#include "common/trace.h"
+#include "core/pool_manager.h"
+#include "core/replication.h"
+#include "obs/time_series.h"
+#include "ops/btree_ops.h"
+#include "ops/op_engine.h"
+#include "workloads/pool_btree.h"
+
+namespace lmp::workloads {
+namespace {
+
+cluster::ClusterConfig SmallConfig() {
+  cluster::ClusterConfig config;
+  config.num_servers = 4;
+  config.cores_per_server = 4;
+  config.server_total_memory = MiB(4);
+  config.server_shared_memory = MiB(4);
+  config.frame_size = KiB(4);
+  config.with_backing = true;
+  return config;
+}
+
+class BtreeFuzzTest : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(BtreeFuzzTest, MatchesReferenceUnderChurnAndCrash) {
+  cluster::Cluster cluster(SmallConfig());
+  core::PoolManager manager(&cluster);
+  core::ReplicationManager repl(&manager, 1);
+  auto tree_or = PoolBtree::Create(&manager, 1024, 0);
+  ASSERT_TRUE(tree_or.ok());
+  PoolBtree& tree = *tree_or;
+
+  Rng rng(GetParam());
+  std::map<std::uint64_t, std::uint64_t> reference;
+  const std::uint64_t key_space = 2000;
+  bool crashed = false;
+
+  auto churn_step = [&](int step) {
+    const auto from = static_cast<cluster::ServerId>(rng.NextBounded(4));
+    const std::uint64_t key = rng.NextBounded(key_space);
+    const int op = static_cast<int>(rng.NextBounded(100));
+    if (op < 40) {
+      const std::uint64_t value = key * 1000 + static_cast<std::uint64_t>(step);
+      const Status st = tree.Insert(from, key, value);
+      if (st.ok()) {
+        reference[key] = value;
+      } else {
+        ASSERT_TRUE(IsOutOfMemory(st)) << st;
+      }
+    } else if (op < 70) {
+      auto got = tree.Lookup(from, key);
+      auto it = reference.find(key);
+      if (it == reference.end()) {
+        EXPECT_TRUE(IsNotFound(got.status())) << "key " << key;
+      } else {
+        ASSERT_TRUE(got.ok()) << "key " << key;
+        EXPECT_EQ(*got, it->second);
+      }
+    } else if (op < 85) {
+      const Status st = tree.Erase(from, key);
+      if (reference.erase(key) > 0) {
+        EXPECT_TRUE(st.ok()) << st;
+      } else {
+        EXPECT_TRUE(IsNotFound(st));
+      }
+    } else if (op < 93) {
+      // Ordered scan must agree with the reference's ordered iteration.
+      auto rows = tree.Scan(from, key, 20);
+      ASSERT_TRUE(rows.ok());
+      auto it = reference.lower_bound(key);
+      std::size_t i = 0;
+      for (; i < rows->size(); ++i, ++it) {
+        ASSERT_NE(it, reference.end());
+        EXPECT_EQ((*rows)[i].first, it->first);
+        EXPECT_EQ((*rows)[i].second, it->second);
+      }
+      EXPECT_TRUE(i == 20 || it == reference.end());
+    } else if (op < 97) {
+      // Migrate a random segment of the node arena.
+      auto info = manager.Describe(tree.buffer());
+      ASSERT_TRUE(info.ok());
+      const auto seg = info->segments[rng.NextBounded(info->segments.size())];
+      const auto dst = static_cast<cluster::ServerId>(rng.NextBounded(4));
+      (void)manager.MigrateSegment(seg, dst);  // may legally fail
+    } else {
+      // Drain-backed shrink: compact a random segment below a byte bound
+      // on its own home.  kOutOfMemory/kFailedPrecondition are legal;
+      // data corruption is not (the audit below catches it).
+      auto info = manager.Describe(tree.buffer());
+      ASSERT_TRUE(info.ok());
+      const auto seg = info->segments[rng.NextBounded(info->segments.size())];
+      (void)manager.CompactSegment(seg, MiB(2));
+    }
+    ASSERT_EQ(tree.size(), reference.size()) << "step " << step;
+  };
+
+  for (int step = 0; step < 1200; ++step) {
+    churn_step(step);
+    if (step == 600 && !crashed) {
+      // One injected crash, masked by replication: protect the arena (the
+      // copies are taken now, so nothing mutates between protect and
+      // crash), kill a server holding tree nodes, and keep going on the
+      // promoted replicas.
+      crashed = true;
+      ASSERT_TRUE(repl.ProtectBuffer(tree.buffer()).ok());
+      const auto victim = static_cast<cluster::ServerId>(rng.NextBounded(4));
+      auto lost = manager.OnServerCrash(victim);
+      ASSERT_TRUE(lost.ok());
+      EXPECT_TRUE(lost->empty()) << "replicated arena lost segments";
+    }
+  }
+  ASSERT_TRUE(crashed);
+
+  // Full final audit: every reference entry readable, in order, via scan.
+  auto all = tree.Scan(0, 0, reference.size() + 10);
+  ASSERT_TRUE(all.ok());
+  ASSERT_EQ(all->size(), reference.size());
+  auto it = reference.begin();
+  for (std::size_t i = 0; i < all->size(); ++i, ++it) {
+    EXPECT_EQ((*all)[i].first, it->first);
+    EXPECT_EQ((*all)[i].second, it->second);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, BtreeFuzzTest,
+                         ::testing::Values(11, 22, 33));
+
+// The determinism contract (ROADMAP tier 1): the async op workload —
+// latency histograms, op counters, and time-series samples — must be
+// byte-identical for any solver thread count.
+struct DeterminismArtifacts {
+  std::string metrics_json;
+  std::string series_json;
+};
+
+DeterminismArtifacts RunAsyncWorkload(int threads) {
+  cluster::ClusterConfig cfg;
+  cfg.num_servers = 4;
+  cfg.cores_per_server = 4;
+  cfg.server_total_memory = MiB(16);
+  cfg.server_shared_memory = MiB(16);
+  cfg.with_backing = true;
+  baselines::LogicalDeployment deploy(fabric::LinkProfile::Link0(), cfg);
+  deploy.simulator().set_threads(threads);
+
+  MetricsRegistry metrics;
+  ops::OpEngine::Options opts;
+  opts.metrics = &metrics;
+  ops::OpEngine engine(&deploy.simulator(), &deploy.topology(),
+                       &deploy.manager(), opts);
+  auto tree_or = PoolBtree::Create(&deploy.manager(), 2048, 0);
+  LMP_CHECK(tree_or.ok());
+  PoolBtree& tree = *tree_or;
+  ops::BtreeOpDriver driver(&engine, &tree, cfg.num_servers);
+
+  for (std::uint64_t k = 0; k < 500; ++k) {
+    LMP_CHECK(tree.Insert(0, k * 5, k).ok());
+  }
+
+  obs::TimeSeriesRecorder recorder(
+      &deploy.simulator(),
+      {.interval = Microseconds(50), .horizon = Milliseconds(5),
+       .prefix = "btree/"});
+  recorder.AddCounter("ops_completed", [&] { return engine.completed(); });
+  recorder.AddGauge("in_flight",
+                    [&] { return static_cast<double>(engine.in_flight()); });
+  recorder.Start();
+
+  // Mid-run structural churn, on the sim clock: migrate one arena segment
+  // at a fixed instant so hop pricing changes under the in-flight ops.
+  deploy.simulator().ScheduleAt(Microseconds(200), [&](SimTime) {
+    auto info = deploy.manager().Describe(tree.buffer());
+    if (info.ok() && !info->segments.empty()) {
+      (void)deploy.manager().MigrateSegment(info->segments[0], 2);
+    }
+  });
+
+  Rng rng(42);
+  const int kTotal = 400;
+  int submitted = 0;
+  std::function<void()> submit_one = [&] {
+    const auto server = static_cast<cluster::ServerId>(rng.NextBounded(4));
+    const std::uint64_t key = rng.NextBounded(500) * 5;
+    const int mix = static_cast<int>(rng.NextBounded(100));
+    ++submitted;
+    if (mix < 50) {
+      driver.SubmitGet(server, 0, key);
+    } else if (mix < 85) {
+      driver.SubmitPut(server, 0, key, rng.NextBounded(1u << 30));
+    } else {
+      driver.SubmitScan(server, 0, key, 10);
+    }
+  };
+  engine.set_on_complete([&](const ops::OpResult&) {
+    if (submitted < kTotal) submit_one();
+  });
+  for (int i = 0; i < 32; ++i) submit_one();
+  LMP_CHECK(engine.Drain().ok());
+  LMP_CHECK(engine.completed() == static_cast<std::uint64_t>(kTotal));
+
+  return DeterminismArtifacts{trace::MetricsJson(metrics),
+                              obs::SeriesJson({&recorder})};
+}
+
+TEST(BtreeDeterminismTest, MetricsAndSeriesByteIdenticalAcrossThreads) {
+  const DeterminismArtifacts t1 = RunAsyncWorkload(1);
+  const DeterminismArtifacts t8 = RunAsyncWorkload(8);
+  EXPECT_EQ(t1.metrics_json, t8.metrics_json);
+  EXPECT_EQ(t1.series_json, t8.series_json);
+  // And the histograms actually carry data: this is a latency test, not a
+  // vacuous comparison of empty registries.
+  EXPECT_NE(t1.metrics_json.find("ops.get"), std::string::npos);
+  EXPECT_NE(t1.metrics_json.find("ops.put"), std::string::npos);
+  EXPECT_NE(t1.metrics_json.find("ops.scan"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace lmp::workloads

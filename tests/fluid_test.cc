@@ -496,6 +496,83 @@ TEST(SpanStreamTest, UnequalStreamsMakespanIsSlowest) {
   EXPECT_NEAR(res.gbps, 2.0, 0.01);
 }
 
+TEST(SpanStreamTest, CompletionCallbackIsDeferredForEmptyChain) {
+  FluidSimulator sim;
+  SpanStream stream(&sim, {});
+  int fired = 0;
+  stream.set_on_complete([&](SpanStream& s) {
+    EXPECT_TRUE(s.done());
+    ++fired;
+  });
+  stream.Start();
+  // The empty chain is done synchronously, but the callback must arrive
+  // from the timer wheel, never from inside Start().
+  EXPECT_TRUE(stream.done());
+  EXPECT_EQ(fired, 0);
+  sim.Run();
+  EXPECT_EQ(fired, 1);
+}
+
+TEST(SpanStreamTest, ZeroByteSpanChainCompletesWithoutRecursion) {
+  FluidSimulator sim;
+  const ResourceId r = sim.AddResource("link", GBps(1));
+  // A long chain of zero-byte spans: every span completes instantly, so a
+  // synchronous StartNext loop would recurse chain-deep.  Deferred flow
+  // callbacks make it iterative; this overflows the stack if that breaks.
+  std::vector<Span> spans(20000, Span{0.0, {r}});
+  SpanStream stream(&sim, std::move(spans));
+  int fired = 0;
+  stream.set_on_complete([&](SpanStream&) { ++fired; });
+  stream.Start();
+  sim.Run();
+  EXPECT_TRUE(stream.done());
+  EXPECT_EQ(fired, 1);
+  EXPECT_DOUBLE_EQ(sim.now(), 0.0);  // zero bytes cost zero sim time
+  EXPECT_DOUBLE_EQ(stream.total_bytes(), 0.0);
+}
+
+TEST(SpanStreamTest, SingleAndZeroByteMixedChainFiresCallbackOnce) {
+  FluidSimulator sim;
+  const ResourceId r = sim.AddResource("link", GBps(1));
+  SpanStream stream(&sim, {Span{0.0, {r}}, Span{1e9, {r}}, Span{0.0, {r}}});
+  int fired = 0;
+  stream.set_on_complete([&](SpanStream& s) {
+    ++fired;
+    EXPECT_NEAR(s.end_time() - s.start_time(), Seconds(1), 1e3);
+  });
+  stream.Start();
+  sim.Run();
+  EXPECT_EQ(fired, 1);
+}
+
+TEST(SpanStreamTest, CallbackSetAfterCompletionStillFiresDeferred) {
+  FluidSimulator sim;
+  SpanStream stream(&sim, {});
+  stream.Start();
+  EXPECT_TRUE(stream.done());
+  int fired = 0;
+  stream.set_on_complete([&](SpanStream&) { ++fired; });
+  EXPECT_EQ(fired, 0);  // still deferred, even though already done
+  sim.Run();
+  EXPECT_EQ(fired, 1);
+}
+
+TEST(SpanStreamTest, CompletionCallbackMayDestroyTheStream) {
+  FluidSimulator sim;
+  const ResourceId r = sim.AddResource("link", GBps(1));
+  auto stream = std::make_unique<SpanStream>(
+      &sim, std::vector<Span>{Span{1e6, {r}}});
+  bool fired = false;
+  stream->set_on_complete([&](SpanStream&) {
+    stream.reset();  // the callback owns the stream's lifetime
+    fired = true;
+  });
+  stream->Start();
+  sim.Run();
+  EXPECT_TRUE(fired);
+  EXPECT_EQ(stream, nullptr);
+}
+
 TEST(SpanStreamTest, ReleasesRecordsAndReportsSolverWork) {
   FluidSimulator sim;
   const ResourceId r = sim.AddResource("link", GBps(10));

@@ -89,5 +89,112 @@ TEST_P(KvFuzzTest, MatchesReferenceModelUnderRandomOps) {
 INSTANTIATE_TEST_SUITE_P(Seeds, KvFuzzTest,
                          ::testing::Values(101, 202, 303, 404, 505));
 
+std::span<const std::byte> AsBytes(const std::string& s) {
+  return std::span<const std::byte>(
+      reinterpret_cast<const std::byte*>(s.data()), s.size());
+}
+
+// Delete/reinsert churn grows tombstones without bound; probe chains must
+// keep terminating, reuse tombstone slots instead of reporting a full
+// table, and never double-count size.  (Regression for the linear-probing
+// termination audit.)
+TEST(KvTombstoneChurnTest, DeleteReinsertChurnStaysConsistent) {
+  auto pool_or = Pool::Create(PoolOptions::Small());
+  ASSERT_TRUE(pool_or.ok());
+  auto kv = PoolKvStore::Create(pool_or->get(), 16, 0);  // 32 buckets
+  ASSERT_TRUE(kv.ok());
+
+  // Fill half the table, then churn every key through delete+reinsert far
+  // more times than there are buckets: every cycle turns a live slot into
+  // a tombstone and consumes a (possibly different) slot on reinsert.
+  const std::uint64_t kKeys = 16;
+  for (std::uint64_t k = 0; k < kKeys; ++k) {
+    ASSERT_TRUE(kv->Put(0, k, AsBytes("seed" + std::to_string(k))).ok());
+  }
+  for (int round = 0; round < 64; ++round) {
+    for (std::uint64_t k = 0; k < kKeys; ++k) {
+      ASSERT_TRUE(kv->Delete(0, k).ok()) << "round " << round << " key " << k;
+      const std::string v = "r" + std::to_string(round);
+      ASSERT_TRUE(kv->Put(0, k, AsBytes(v)).ok())
+          << "round " << round << " key " << k;
+      ASSERT_EQ(kv->size(), kKeys);
+    }
+  }
+  // Every key readable with its final value; absent keys still terminate.
+  for (std::uint64_t k = 0; k < kKeys; ++k) {
+    auto got = kv->Get(0, k);
+    ASSERT_TRUE(got.ok());
+    EXPECT_EQ(std::string(reinterpret_cast<const char*>(got->data()), 3),
+              "r63");
+  }
+  EXPECT_TRUE(IsNotFound(kv->Get(0, 999).status()));
+}
+
+// Keys above kMaxKey would wrap tag = key + 2 onto the empty/tombstone
+// sentinels: a live record stored as tag 0 terminates every probe chain
+// through it, and one stored as tag 1 gets clobbered by the next colliding
+// insert.  All entry points must reject them instead.
+TEST(KvSentinelKeyTest, TopTwoKeysAreRejectedEverywhere) {
+  auto pool_or = Pool::Create(PoolOptions::Small());
+  ASSERT_TRUE(pool_or.ok());
+  auto kv = PoolKvStore::Create(pool_or->get(), 16, 0);
+  ASSERT_TRUE(kv.ok());
+
+  const std::string v = "x";
+  for (const std::uint64_t bad : {~0ull, ~0ull - 1}) {
+    EXPECT_TRUE(IsInvalidArgument(kv->Put(0, bad, AsBytes(v)))) << bad;
+    EXPECT_TRUE(IsInvalidArgument(kv->Get(0, bad).status())) << bad;
+    EXPECT_TRUE(IsInvalidArgument(kv->Delete(0, bad))) << bad;
+    core::DistributedLock lock(&(*pool_or)->coherent(), 0);
+    EXPECT_TRUE(IsInvalidArgument(
+        kv->PutLocked(&lock, 0, bad, AsBytes(v))))
+        << bad;
+    EXPECT_FALSE(lock.IsHeld());  // the reject path still releases
+  }
+  // The largest representable key is fine end to end.
+  ASSERT_TRUE(kv->Put(0, PoolKvStore::kMaxKey, AsBytes(v)).ok());
+  EXPECT_TRUE(kv->Get(0, PoolKvStore::kMaxKey).ok());
+  ASSERT_TRUE(kv->Delete(0, PoolKvStore::kMaxKey).ok());
+  EXPECT_EQ(kv->size(), 0u);
+}
+
+// PutLocked's time model: every TryLock CAS and the final unlock cost one
+// coherent round trip, so two writers hitting the same lock serialize with
+// nonzero measured latency — and a wedged lock burns max_spins * rtt, not
+// zero time.
+TEST(KvLockedPutTimingTest, SpinsAndUnlockAdvanceSimTime) {
+  auto pool_or = Pool::Create(PoolOptions::Small());
+  ASSERT_TRUE(pool_or.ok());
+  auto kv = PoolKvStore::Create(pool_or->get(), 64, 0);
+  ASSERT_TRUE(kv.ok());
+  core::DistributedLock lock(&(*pool_or)->coherent(), 0);
+  const SimTime rtt = 100.0;
+  const std::string v = "timed";
+
+  // Uncontended writer: one winning CAS + unlock = 2 round trips.
+  SimTime done_a = 0;
+  ASSERT_TRUE(kv->PutLocked(&lock, 1, 7, AsBytes(v), /*now=*/0,
+                            /*max_spins=*/10, rtt, &done_a)
+                  .ok());
+  EXPECT_DOUBLE_EQ(done_a, 2 * rtt);
+
+  // Second writer starts where the first finished: it serializes strictly
+  // after, with its own nonzero latency.
+  SimTime done_b = 0;
+  ASSERT_TRUE(kv->PutLocked(&lock, 2, 7, AsBytes(v), done_a,
+                            /*max_spins=*/10, rtt, &done_b)
+                  .ok());
+  EXPECT_DOUBLE_EQ(done_b, done_a + 2 * rtt);
+  EXPECT_GT(done_b, done_a);
+
+  // A wedged holder: the timeout is measured, not instantaneous.
+  ASSERT_TRUE(*lock.TryLock(3));
+  SimTime done_c = 0;
+  const Status st = kv->PutLocked(&lock, 1, 8, AsBytes(v), done_b,
+                                  /*max_spins=*/5, rtt, &done_c);
+  EXPECT_TRUE(IsUnavailable(st));
+  EXPECT_DOUBLE_EQ(done_c, done_b + 5 * rtt);
+}
+
 }  // namespace
 }  // namespace lmp::workloads
