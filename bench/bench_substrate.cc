@@ -21,7 +21,7 @@ void BM_FrameAllocator_AllocFree(benchmark::State& state) {
   const auto frames_per_alloc = static_cast<std::uint64_t>(state.range(0));
   mem::FrameAllocator alloc(1 << 20, KiB(64));  // 64 GiB worth of frames
   for (auto _ : state) {
-    auto runs = alloc.Allocate(frames_per_alloc);
+    auto runs = alloc.Allocate(mem::AllocRequest::Of(frames_per_alloc));
     benchmark::DoNotOptimize(runs);
     LMP_CHECK_OK(alloc.Free(runs.value()));
   }
@@ -34,14 +34,14 @@ void BM_FrameAllocator_FragmentedAlloc(benchmark::State& state) {
   mem::FrameAllocator alloc(1 << 16, KiB(64));
   std::vector<std::vector<mem::FrameRun>> held;
   for (int i = 0; i < (1 << 15); ++i) {
-    auto a = alloc.Allocate(1);
-    auto b = alloc.Allocate(1);
+    auto a = alloc.Allocate(mem::AllocRequest::Of(1));
+    auto b = alloc.Allocate(mem::AllocRequest::Of(1));
     LMP_CHECK(a.ok() && b.ok());
     held.push_back(std::move(a).value());  // keep odd ones
     LMP_CHECK_OK(alloc.Free(b.value()));
   }
   for (auto _ : state) {
-    auto runs = alloc.Allocate(256);
+    auto runs = alloc.Allocate(mem::AllocRequest::Of(256));
     benchmark::DoNotOptimize(runs);
     LMP_CHECK_OK(alloc.Free(runs.value()));
   }

@@ -72,8 +72,8 @@ StatusOr<VectorSumResult> PhysicalDeployment::RunVectorSum(
     const VectorSumParams& params) {
   // Feasibility gate: the vector must fit the pool box.
   auto& alloc = cluster_->pool().allocator();
-  auto frames_or = alloc.Allocate(
-      mem::FramesForBytes(params.vector_bytes, cluster_->config().frame_size));
+  auto frames_or = alloc.Allocate(mem::AllocRequest::Of(
+      mem::FramesForBytes(params.vector_bytes, cluster_->config().frame_size)));
   if (!frames_or.ok()) {
     if (IsOutOfMemory(frames_or.status())) {
       VectorSumResult result;

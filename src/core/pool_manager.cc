@@ -46,16 +46,37 @@ mem::BackingStore* PoolManager::BackingAt(const Location& loc) {
   return srv.has_backing() ? &srv.backing() : nullptr;
 }
 
+namespace {
+
+// Resolve an AllocOptions cohort against one allocator: get-or-create the
+// named locus (registration order is deterministic per allocator) and
+// build the frame-level request.  Empty cohort = the default locus.
+mem::AllocRequest FrameRequestFor(mem::FrameAllocator& alloc,
+                                  std::uint64_t frames,
+                                  const AllocOptions& options) {
+  mem::AllocRequest request;
+  request.frames = frames;
+  if (!options.locus.empty()) {
+    request.locus = alloc.RegisterLocus(
+        mem::LocusSpec{options.locus, options.mobility, /*buffer_frames=*/0});
+  }
+  return request;
+}
+
+}  // namespace
+
 StatusOr<std::vector<mem::FrameRun>> PoolManager::AllocateFramesAt(
-    const Location& loc, Bytes bytes) {
+    const Location& loc, Bytes bytes, const AllocOptions& options) {
   const Bytes frame_size = cluster_->config().frame_size;
   const std::uint64_t frames = mem::FramesForBytes(bytes, frame_size);
   if (loc.is_pool()) {
-    return cluster_->pool().allocator().Allocate(frames);
+    auto& alloc = cluster_->pool().allocator();
+    return alloc.Allocate(FrameRequestFor(alloc, frames, options));
   }
   auto& srv = cluster_->server(loc.server);
   if (srv.crashed()) return UnavailableError("server crashed");
-  return srv.shared_allocator().Allocate(frames);
+  auto& alloc = srv.shared_allocator();
+  return alloc.Allocate(FrameRequestFor(alloc, frames, options));
 }
 
 Status PoolManager::FreeFramesAt(const Location& loc,
@@ -66,11 +87,11 @@ Status PoolManager::FreeFramesAt(const Location& loc,
   return srv.shared_allocator().Free(runs);
 }
 
-StatusOr<BufferId> PoolManager::Allocate(
-    Bytes bytes, std::optional<cluster::ServerId> preferred) {
+StatusOr<BufferId> PoolManager::Allocate(Bytes bytes,
+                                         const AllocOptions& options) {
   if (bytes == 0) return InvalidArgumentError("zero-byte allocation");
   LMP_ASSIGN_OR_RETURN(std::vector<PlacementChunk> chunks,
-                       policy_->Place(*cluster_, bytes, preferred));
+                       policy_->Place(*cluster_, bytes, options.preferred));
 
   BufferInfo info;
   info.id = next_buffer_;
@@ -90,7 +111,7 @@ StatusOr<BufferId> PoolManager::Allocate(
 
   for (const PlacementChunk& chunk : chunks) {
     const Location loc = Location::OnServer(chunk.server);
-    auto frames_or = AllocateFramesAt(loc, chunk.bytes);
+    auto frames_or = AllocateFramesAt(loc, chunk.bytes, options);
     if (!frames_or.ok()) {
       rollback();
       return frames_or.status();
@@ -101,6 +122,9 @@ StatusOr<BufferId> PoolManager::Allocate(
     seg.id = next_segment_++;
     seg.size = chunk.bytes;
     seg.home = loc;
+    seg.locus = options.locus;
+    seg.mobility = options.mobility;
+    seg.priority = options.priority;
     Status st = segments_.Insert(seg);
     if (st.ok()) {
       st = local_map(loc).Bind(seg.id, chunk.bytes,
@@ -175,6 +199,9 @@ Status PoolManager::SplitSegmentAt(BufferId buffer, Bytes offset) {
       tail_seg.id = next_segment_++;
       tail_seg.size = seg->size - within;
       tail_seg.home = seg->home;
+      tail_seg.locus = seg->locus;
+      tail_seg.mobility = seg->mobility;
+      tail_seg.priority = seg->priority;
       LMP_RETURN_IF_ERROR(segments_.Insert(tail_seg));
       const Location home = seg->home;
       LMP_CHECK_OK(local_map(home).Unbind(seg->id));
@@ -193,13 +220,13 @@ Status PoolManager::SplitSegmentAt(BufferId buffer, Bytes offset) {
 }
 
 Status PoolManager::Grow(BufferId buffer, Bytes delta,
-                         std::optional<cluster::ServerId> preferred) {
+                         const AllocOptions& options) {
   auto it = buffers_.find(buffer);
   if (it == buffers_.end()) return NotFoundError("unknown buffer");
   if (delta == 0) return InvalidArgumentError("zero-byte grow");
   // Place and materialise the extension exactly like a fresh allocation,
   // then splice its segments onto the existing buffer.
-  LMP_ASSIGN_OR_RETURN(BufferId extension, Allocate(delta, preferred));
+  LMP_ASSIGN_OR_RETURN(BufferId extension, Allocate(delta, options));
   BufferInfo& ext_info = buffers_.at(extension);
   BufferInfo& info = buffers_.at(buffer);  // re-lookup: Allocate rehashed
   info.segments.insert(info.segments.end(), ext_info.segments.begin(),
@@ -538,7 +565,10 @@ StatusOr<MigrationRecord> PoolManager::MigrateSegment(SegmentId seg,
   }
 
   LMP_ASSIGN_OR_RETURN(auto src_runs, local_map(from).RunsOf(seg));
-  LMP_ASSIGN_OR_RETURN(auto dst_runs, AllocateFramesAt(to, info->size));
+  // Stay in the segment's cohort on the destination allocator so pinned
+  // tenants pack high there too.
+  LMP_ASSIGN_OR_RETURN(auto dst_runs,
+                       AllocateFramesAt(to, info->size, CohortOf(*info)));
 
   info->state = SegmentState::kMigrating;
   Status st = CopySegmentData(seg, from, src_runs, to, dst_runs, info->size);
@@ -581,6 +611,12 @@ StatusOr<MigrationRecord> PoolManager::CompactSegment(SegmentId seg,
   if (info->home.is_pool()) {
     return FailedPreconditionError("pool-homed segments have no shrink cut");
   }
+  if (info->mobility == mem::Mobility::kPinned) {
+    // Pinned cohorts opted out of being moved; their frames already pack
+    // high, away from the shrink cut, so compacting them would fight the
+    // allocator's own placement.
+    return FailedPreconditionError("segment cohort is pinned");
+  }
   auto& srv = cluster_->server(info->home.server);
   if (srv.crashed()) return UnavailableError("home crashed");
 
@@ -599,8 +635,10 @@ StatusOr<MigrationRecord> PoolManager::CompactSegment(SegmentId seg,
   if (!past_cut) return MigrationRecord{seg, home, home, /*bytes=*/0};
 
   const std::uint64_t frames = mem::FramesForBytes(info->size, frame_size);
-  LMP_ASSIGN_OR_RETURN(auto dst_runs,
-                       srv.shared_allocator().AllocateBelow(frames, bound));
+  mem::AllocRequest request =
+      FrameRequestFor(srv.shared_allocator(), frames, CohortOf(*info));
+  request.bound = bound;
+  LMP_ASSIGN_OR_RETURN(auto dst_runs, srv.shared_allocator().Allocate(request));
 
   info->state = SegmentState::kMigrating;
   const Status st =

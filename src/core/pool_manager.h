@@ -61,6 +61,30 @@ struct MigrationRecord {
   Bytes bytes = 0;
 };
 
+// Options for PoolManager::Allocate/Grow — a request struct instead of a
+// growing positional-parameter tail (see DESIGN.md, "request structs").
+// The implicit ServerId constructors keep the historical call shape
+// `Allocate(bytes, server)` working while letting tenant-aware callers
+// (ctrl::AdmissionController) attach cohort identity.
+struct AllocOptions {
+  // Server whose shared region placement should prefer.
+  std::optional<cluster::ServerId> preferred;
+  // Allocation cohort name threaded down to mem::FrameAllocator loci;
+  // empty uses the default cohort (legacy next-fit placement).
+  std::string locus;
+  mem::Mobility mobility = mem::Mobility::kMobile;
+  // Tenant priority recorded on the segments; drains evict low first.
+  double priority = 1.0;
+
+  AllocOptions() = default;
+  AllocOptions(cluster::ServerId preferred_server)  // NOLINT(runtime/explicit)
+      : preferred(preferred_server) {}
+  AllocOptions(  // NOLINT(runtime/explicit)
+      std::optional<cluster::ServerId> preferred_server)
+      : preferred(preferred_server) {}
+  AllocOptions(std::nullopt_t) {}  // NOLINT(runtime/explicit)
+};
+
 class PoolManager {
  public:
   // The cluster must outlive the manager.  The default policy is the
@@ -76,18 +100,18 @@ class PoolManager {
 
   // Allocation --------------------------------------------------------------
 
-  // Allocates `bytes` from the pool, preferring `preferred`'s shared region.
-  // Fails with kOutOfMemory when the pool cannot hold it (Figure 5).
-  StatusOr<BufferId> Allocate(Bytes bytes,
-                              std::optional<cluster::ServerId> preferred);
+  // Allocates `bytes` from the pool, preferring `options.preferred`'s
+  // shared region; cohort fields steer frame placement inside each chosen
+  // allocator.  Fails with kOutOfMemory when the pool cannot hold it
+  // (Figure 5).
+  StatusOr<BufferId> Allocate(Bytes bytes, const AllocOptions& options = {});
 
   Status Free(BufferId buffer);
 
   // Grows `buffer` by `delta` bytes: new segments are placed by the
-  // current policy (preferring `preferred`) and appended, so existing
+  // current policy (honouring `options`) and appended, so existing
   // offsets — and RemoteRefs — stay valid.
-  Status Grow(BufferId buffer, Bytes delta,
-              std::optional<cluster::ServerId> preferred);
+  Status Grow(BufferId buffer, Bytes delta, const AllocOptions& options = {});
 
   // Shrinks `buffer` to `new_size`, releasing whole tail segments (use
   // SplitSegmentAt first for byte-precise trims).  Fails with
@@ -199,8 +223,18 @@ class PoolManager {
 
   // Internals used by the replication/erasure layer ---------------------------
 
-  StatusOr<std::vector<mem::FrameRun>> AllocateFramesAt(const Location& loc,
-                                                        Bytes bytes);
+  StatusOr<std::vector<mem::FrameRun>> AllocateFramesAt(
+      const Location& loc, Bytes bytes, const AllocOptions& options = {});
+
+  // The cohort a segment was allocated under, for re-homing paths that
+  // must keep it in the same locus at the destination.
+  static AllocOptions CohortOf(const SegmentInfo& info) {
+    AllocOptions options;
+    options.locus = info.locus;
+    options.mobility = info.mobility;
+    options.priority = info.priority;
+    return options;
+  }
   Status FreeFramesAt(const Location& loc,
                       const std::vector<mem::FrameRun>& runs);
   LocalFrameMap& local_map(const Location& loc);

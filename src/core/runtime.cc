@@ -1,6 +1,7 @@
 #include "core/runtime.h"
 
 #include <algorithm>
+#include <tuple>
 
 #include "common/logging.h"
 
@@ -68,16 +69,19 @@ std::vector<DrainVictim> BlockedResidents(PoolManager& manager,
       if (run.end() > target_frames) {
         residents.push_back(DrainVictim{
             info.id, info.size,
-            manager.access_tracker().TotalBytes(info.id, now)});
+            manager.access_tracker().TotalBytes(info.id, now),
+            info.mobility == mem::Mobility::kPinned, info.priority});
         return;
       }
     }
   });
-  // Tie-break on segment id: ForEach order is hash-map order, and the drain
-  // sequence feeds deterministic traces.
+  // Mobile cohorts first, then cheapest tenants, then coldest.  Tie-break
+  // on segment id: ForEach order is hash-map order, and the drain sequence
+  // feeds deterministic traces.
   std::sort(residents.begin(), residents.end(),
             [](const DrainVictim& a, const DrainVictim& b) {
-              return a.heat == b.heat ? a.seg < b.seg : a.heat < b.heat;
+              return std::tie(a.pinned, a.priority, a.heat, a.seg) <
+                     std::tie(b.pinned, b.priority, b.heat, b.seg);
             });
   return residents;
 }
@@ -94,6 +98,11 @@ StatusOr<std::vector<MigrationRecord>> LmpRuntime::DrainServer(
   const std::vector<DrainVictim> residents =
       BlockedResidents(*manager_, server, target_bytes, now);
   for (const DrainVictim& r : residents) {
+    if (r.pinned) {
+      // Pinned cohorts are never exiled; with victims sorted mobile-first
+      // the remaining ones are all pinned and the drain cannot complete.
+      return FailedPreconditionError("pinned segments block the drain");
+    }
     // Move to the live peer with the most free shared capacity.
     cluster::ServerId best = server;
     Bytes best_free = 0;

@@ -24,12 +24,17 @@ struct DrainVictim {
   SegmentId seg = kInvalidSegment;
   Bytes size = 0;
   double heat = 0;  // decayed traffic at selection time
+  // From the segment's allocation cohort: pinned victims sort last and
+  // drain schedulers skip them (their cohort opted out of being moved).
+  bool pinned = false;
+  double priority = 1.0;  // tenant priority; low drains first
 };
 
-// The active segments blocking a shrink of `server` to `target_bytes`,
-// coldest first (they are the cheapest to lose locality on).  Empty when
-// the shrink is already possible.  Shared by LmpRuntime::DrainServer and
-// the ctrl-plane drain scheduler.
+// The active segments blocking a shrink of `server` to `target_bytes`:
+// mobile before pinned, then lowest tenant priority, then coldest (they
+// are the cheapest to lose locality on).  Empty when the shrink is already
+// possible.  Shared by LmpRuntime::DrainServer and the ctrl-plane drain
+// scheduler.
 std::vector<DrainVictim> BlockedResidents(PoolManager& manager,
                                           cluster::ServerId server,
                                           Bytes target_bytes, SimTime now);

@@ -48,6 +48,15 @@ struct SegmentInfo {
   std::uint64_t generation = 0;
   // Replica homes (excluding the primary).  Maintained by ReplicationManager.
   std::vector<Location> replicas;
+  // Allocation cohort (mem::LocusSpec name; empty = the default cohort).
+  // Carried so re-homing keeps the segment in the same cohort on the
+  // destination allocator.
+  std::string locus;
+  // Pinned segments pack high in their home allocator and are never chosen
+  // as drain/compaction victims.
+  mem::Mobility mobility = mem::Mobility::kMobile;
+  // Tenant priority from admission; drains prefer low-priority victims.
+  double priority = 1.0;
 };
 
 }  // namespace lmp::core

@@ -5,6 +5,7 @@
 
 #include "common/logging.h"
 #include "common/trace.h"
+#include "core/pool_manager.h"
 
 namespace lmp::ctrl {
 
@@ -216,6 +217,20 @@ AdmissionController::DemandByServer() const {
     }
   }
   return {by_server.begin(), by_server.end()};
+}
+
+core::AllocOptions AdmissionController::AllocOptionsFor(
+    const Lease& lease) const {
+  core::AllocOptions options;
+  if (lease.state == LeaseState::kActive) {
+    options.preferred = lease.server;
+  } else {
+    options.preferred = lease.spec.preferred;
+  }
+  options.locus = "tenant/" + lease.spec.name;
+  options.mobility = lease.spec.mobility;
+  options.priority = lease.spec.priority;
+  return options;
 }
 
 void AdmissionController::ExportGauges() {

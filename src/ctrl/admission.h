@@ -34,9 +34,14 @@
 #include "common/metrics.h"
 #include "common/status.h"
 #include "common/units.h"
+#include "mem/frame_allocator.h"
 
 namespace lmp::trace {
 class TraceCollector;
+}
+
+namespace lmp::core {
+struct AllocOptions;
 }
 
 namespace lmp::ctrl {
@@ -51,6 +56,10 @@ struct TenantSpec {
   // Server the tenant runs on (demand is attributed there); when absent
   // the controller picks the live server with the most free shared bytes.
   std::optional<cluster::ServerId> preferred;
+  // Allocation-cohort mobility for the tenant's buffers: pinned tenants'
+  // frames pack high and are never drain victims (latency-critical data
+  // that must not move); mobile (the default) participates in compaction.
+  mem::Mobility mobility = mem::Mobility::kMobile;
 };
 
 enum class LeaseState : std::uint8_t {
@@ -106,6 +115,14 @@ class AdmissionController {
 
   // Active-lease demand per server, for the estimator (id order).
   std::vector<std::pair<cluster::ServerId, Bytes>> DemandByServer() const;
+
+  // PoolManager allocation options for a lease: preferred server (the
+  // active attribution point, else the spec's preference), the tenant's
+  // per-cohort locus ("tenant/<name>"), mobility, and priority.  This is
+  // how admission identity reaches frame placement — allocate a lease's
+  // buffers with `manager.Allocate(bytes, admission.AllocOptionsFor(lease))`
+  // and its frames land in a per-tenant cohort.
+  core::AllocOptions AllocOptionsFor(const Lease& lease) const;
 
   // The server a fresh activation would be attributed to.  Injected by the
   // SizingController (it can see the cluster); identity placement

@@ -263,6 +263,7 @@ void SizingController::BeginDrain(cluster::ServerId server,
   drain.started = now;
   std::vector<core::MigrationRecord> records;
   for (const core::DrainVictim& v : victims) {
+    if (v.pinned) continue;  // pinned cohorts are never drain victims
     // Placement, best first:
     //  1. The victim's dominant accessor, when it is a live peer with room
     //     — the drain then doubles as a locality migration.

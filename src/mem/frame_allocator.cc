@@ -1,134 +1,463 @@
 #include "mem/frame_allocator.h"
 
 #include <algorithm>
+#include <bit>
 
 #include "common/logging.h"
 
 namespace lmp::mem {
+namespace {
+
+// A placement computed against the free index but not yet committed:
+// `count` frames at `start`, carved out of the free run beginning at
+// `run_start`.  Commit order never invalidates later entries because each
+// take touches a distinct free run (or a distinct piece of one).
+struct Take {
+  FrameNumber run_start = 0;
+  FrameNumber start = 0;
+  std::uint64_t count = 0;
+};
+
+}  // namespace
 
 FrameAllocator::FrameAllocator(std::uint64_t num_frames, Bytes frame_size)
-    : bitmap_(num_frames, false),
-      free_frames_(num_frames),
+    : num_frames_(num_frames), free_frames_(num_frames),
       frame_size_(frame_size) {
   LMP_CHECK(frame_size > 0);
+  if (num_frames > 0) {
+    free_runs_.emplace(0, num_frames);
+    buckets_[BucketOf(num_frames)].insert(0);
+  }
+  // The default locus: legacy next-fit placement, never buffered.
+  loci_.push_back(LocusState{LocusSpec{"", Mobility::kMobile, 0}, 0, 0, {}});
+  locus_by_name_.emplace("", kDefaultLocus);
 }
 
-StatusOr<std::vector<FrameRun>> FrameAllocator::Allocate(
-    std::uint64_t frames) {
-  if (frames == 0) return std::vector<FrameRun>{};
+unsigned FrameAllocator::BucketOf(std::uint64_t count) {
+  LMP_CHECK(count > 0);
+  return static_cast<unsigned>(std::bit_width(count) - 1);
+}
+
+void FrameAllocator::InsertFreeRun(FrameNumber start, std::uint64_t count) {
+  if (count == 0) return;
+  free_frames_ += count;
+  auto next = free_runs_.lower_bound(start);
+  if (next != free_runs_.begin()) {
+    auto prev = std::prev(next);
+    LMP_CHECK(prev->first + prev->second <= start)
+        << "free-run insert overlaps an existing run";
+    if (prev->first + prev->second == start) {  // coalesce left
+      buckets_[BucketOf(prev->second)].erase(prev->first);
+      start = prev->first;
+      count += prev->second;
+      free_runs_.erase(prev);
+    }
+  }
+  if (next != free_runs_.end() && start + count == next->first) {  // right
+    buckets_[BucketOf(next->second)].erase(next->first);
+    count += next->second;
+    free_runs_.erase(next);
+  }
+  free_runs_.emplace(start, count);
+  buckets_[BucketOf(count)].insert(start);
+}
+
+void FrameAllocator::CarveFreeRun(FrameNumber run_start, FrameNumber start,
+                                  std::uint64_t count) {
+  auto it = free_runs_.find(run_start);
+  LMP_CHECK(it != free_runs_.end()) << "carve from a missing free run";
+  const std::uint64_t len = it->second;
+  LMP_CHECK(start >= run_start && start + count <= run_start + len);
+  buckets_[BucketOf(len)].erase(run_start);
+  free_runs_.erase(it);
+  const std::uint64_t left = start - run_start;
+  const std::uint64_t right = (run_start + len) - (start + count);
+  if (left > 0) {
+    free_runs_.emplace(run_start, left);
+    buckets_[BucketOf(left)].insert(run_start);
+  }
+  if (right > 0) {
+    free_runs_.emplace(start + count, right);
+    buckets_[BucketOf(right)].insert(start + count);
+  }
+  free_frames_ -= count;
+}
+
+LocusId FrameAllocator::RegisterLocus(const LocusSpec& spec) {
+  auto it = locus_by_name_.find(spec.name);
+  if (it != locus_by_name_.end()) return it->second;
+  const LocusId id = static_cast<LocusId>(loci_.size());
+  loci_.push_back(LocusState{spec, 0, 0, {}});
+  locus_by_name_.emplace(spec.name, id);
+  return id;
+}
+
+const LocusSpec& FrameAllocator::locus_spec(LocusId id) const {
+  LMP_CHECK(id < loci_.size());
+  return loci_[id].spec;
+}
+
+const LocusStats& FrameAllocator::locus_stats(LocusId id) const {
+  LMP_CHECK(id < loci_.size());
+  return loci_[id].stats;
+}
+
+std::uint64_t FrameAllocator::buffered_frames() const {
+  std::uint64_t total = 0;
+  for (const LocusState& locus : loci_) total += locus.buf_end - locus.buf_next;
+  return total;
+}
+
+void FrameAllocator::FlushLocusBuffers() {
+  for (LocusState& locus : loci_) {
+    if (locus.buf_next < locus.buf_end) {
+      InsertFreeRun(locus.buf_next, locus.buf_end - locus.buf_next);
+    }
+    locus.buf_next = locus.buf_end = 0;
+  }
+}
+
+// Reproduces the original next-fit bitmap scan exactly: free frames are
+// taken in scan order starting at the hint, wrapping once, and the hint
+// advances to one past the last frame taken.  Identical request sequences
+// therefore produce identical layouts to the bitmap implementation.
+StatusOr<std::vector<FrameRun>> FrameAllocator::NextFit(std::uint64_t frames) {
   if (frames > free_frames_) {
     return OutOfMemoryError("need " + std::to_string(frames) +
                             " frames, only " + std::to_string(free_frames_) +
                             " free");
   }
-
   std::vector<FrameRun> runs;
   std::uint64_t remaining = frames;
-  const std::uint64_t n = bitmap_.size();
-  // Next-fit scan from the hint, wrapping once; coalesce into runs.
-  std::uint64_t scanned = 0;
-  FrameNumber pos = hint_;
-  while (remaining > 0 && scanned < n) {
-    if (!bitmap_[pos]) {
-      // Extend a run if contiguous with the previous grab.
-      if (!runs.empty() && runs.back().end() == pos) {
-        ++runs.back().count;
-      } else {
-        runs.push_back(FrameRun{pos, 1});
-      }
-      bitmap_[pos] = true;
-      --free_frames_;
-      --remaining;
+  FrameNumber cursor = hint_;
+  bool wrapped = false;
+  while (remaining > 0) {
+    // First free run with end > cursor.
+    auto it = free_runs_.upper_bound(cursor);
+    if (it != free_runs_.begin()) {
+      auto prev = std::prev(it);
+      if (prev->first + prev->second > cursor) it = prev;
     }
-    pos = (pos + 1) % n;
-    ++scanned;
+    if (it == free_runs_.end()) {
+      LMP_CHECK(!wrapped) << "free count disagreed with run index";
+      wrapped = true;
+      cursor = 0;
+      continue;
+    }
+    const FrameNumber take_start = std::max(it->first, cursor);
+    const std::uint64_t avail = it->first + it->second - take_start;
+    const std::uint64_t take = std::min(avail, remaining);
+    runs.push_back(FrameRun{take_start, take});
+    cursor = take_start + take;
+    CarveFreeRun(it->first, take_start, take);
+    remaining -= take;
   }
-  LMP_CHECK(remaining == 0) << "free count disagreed with bitmap";
-  hint_ = pos;
+  hint_ = cursor % num_frames_;
   return runs;
 }
 
-Status FrameAllocator::Free(const std::vector<FrameRun>& runs) {
-  // Validate first so a bad request leaves state untouched.
-  for (const FrameRun& r : runs) {
-    if (r.end() > bitmap_.size()) {
-      return InvalidArgumentError("frame run out of range");
+// First-fit ascending, every frame strictly below `bound` (clipped to the
+// region).  The take list is computed first and committed only when the
+// request is fully covered, so shortage leaves state untouched — the old
+// bitmap implementation grabbed as it scanned and had to roll back.
+StatusOr<std::vector<FrameRun>> FrameAllocator::FitAscending(
+    std::uint64_t frames, FrameNumber bound) {
+  const FrameNumber limit = std::min<FrameNumber>(bound, num_frames_);
+  std::vector<Take> takes;
+  std::uint64_t remaining = frames;
+  for (auto it = free_runs_.begin();
+       it != free_runs_.end() && it->first < limit && remaining > 0; ++it) {
+    const std::uint64_t avail = std::min(it->second, limit - it->first);
+    const std::uint64_t take = std::min(avail, remaining);
+    takes.push_back(Take{it->first, it->first, take});
+    remaining -= take;
+  }
+  if (remaining > 0) {
+    return OutOfMemoryError("need " + std::to_string(frames) +
+                            " frames below " + std::to_string(bound) +
+                            ", short by " + std::to_string(remaining));
+  }
+  std::vector<FrameRun> runs;
+  runs.reserve(takes.size());
+  for (const Take& t : takes) {
+    CarveFreeRun(t.run_start, t.start, t.count);
+    runs.push_back(FrameRun{t.start, t.count});
+  }
+  return runs;
+}
+
+// First-fit descending from the top of the region, taking the high end of
+// each run: the pinned-cohort policy.  Pinned data packs away from the
+// shrink cut so mobile cohorts and compaction own the low frames.
+StatusOr<std::vector<FrameRun>> FrameAllocator::FitDescending(
+    std::uint64_t frames) {
+  if (frames > free_frames_) {
+    return OutOfMemoryError("need " + std::to_string(frames) +
+                            " frames, only " + std::to_string(free_frames_) +
+                            " free");
+  }
+  std::vector<Take> takes;
+  std::uint64_t remaining = frames;
+  for (auto it = free_runs_.rbegin(); it != free_runs_.rend() && remaining > 0;
+       ++it) {
+    const std::uint64_t take = std::min(it->second, remaining);
+    takes.push_back(Take{it->first, it->first + it->second - take, take});
+    remaining -= take;
+  }
+  LMP_CHECK(remaining == 0) << "free count disagreed with run index";
+  std::vector<FrameRun> runs;
+  runs.reserve(takes.size());
+  for (const Take& t : takes) {
+    CarveFreeRun(t.run_start, t.start, t.count);
+    runs.push_back(FrameRun{t.start, t.count});
+  }
+  return runs;
+}
+
+std::optional<FrameRun> FrameAllocator::TakeContiguous(std::uint64_t frames,
+                                                       Mobility mobility,
+                                                       bool directional) {
+  if (frames == 0 || frames > free_frames_) return std::nullopt;
+  // Only the request's own size class can contain runs that are too
+  // short; every run in a higher bucket qualifies.
+  const unsigned first_bucket = BucketOf(frames);
+  std::optional<FrameNumber> best;
+  for (unsigned b = first_bucket; b < buckets_.size(); ++b) {
+    const std::set<FrameNumber>& bucket = buckets_[b];
+    if (mobility == Mobility::kMobile) {
+      // Lowest qualifying run in this bucket (starts ascend in the set).
+      for (FrameNumber start : bucket) {
+        if (best.has_value() && start >= *best) break;
+        if (free_runs_.at(start) < frames) continue;
+        best = start;
+        break;
+      }
+    } else {
+      // Highest qualifying run in this bucket.
+      for (auto it = bucket.rbegin(); it != bucket.rend(); ++it) {
+        if (best.has_value() && *it <= *best) break;
+        if (free_runs_.at(*it) < frames) continue;
+        best = *it;
+        break;
+      }
     }
-    for (FrameNumber f = r.first; f < r.end(); ++f) {
-      if (!bitmap_[f]) return InvalidArgumentError("double free of frame");
+    // Best fit: stop at the snuggest size class that had a qualifying
+    // run.  Directional: keep looking — a bigger run further out in the
+    // packing direction wins over a snug one in the middle.
+    if (!directional && best.has_value()) break;
+  }
+  if (!best.has_value()) return std::nullopt;
+  const FrameNumber start = *best;
+  const std::uint64_t len = free_runs_.at(start);
+  if (mobility == Mobility::kMobile) {
+    CarveFreeRun(start, start, frames);
+    return FrameRun{start, frames};
+  }
+  CarveFreeRun(start, start + len - frames, frames);
+  return FrameRun{start + len - frames, frames};
+}
+
+StatusOr<std::vector<FrameRun>> FrameAllocator::AllocateInLocus(
+    const AllocRequest& request, LocusState& locus) {
+  const std::uint64_t frames = request.frames;
+  const Mobility mobility = locus.spec.mobility;
+
+  // Bump-pointer buffered path: small grabs come out of a per-locus
+  // contiguous reservation, amortizing index work and keeping cohort data
+  // clustered.  Mobile buffers bump upward, pinned buffers bump downward —
+  // the same outward packing the unbuffered policies produce.
+  if (locus.spec.buffer_frames > 0 && frames <= locus.spec.buffer_frames &&
+      !request.prefer_contiguous) {
+    if (locus.buf_end - locus.buf_next < frames) {
+      if (locus.buf_next < locus.buf_end) {  // flush the stub, then refill
+        InsertFreeRun(locus.buf_next, locus.buf_end - locus.buf_next);
+        locus.buf_next = locus.buf_end = 0;
+      }
+      if (auto chunk = TakeContiguous(locus.spec.buffer_frames, mobility,
+                                      /*directional=*/true)) {
+        locus.buf_next = chunk->first;
+        locus.buf_end = chunk->end();
+        ++locus.stats.buffer_refills;
+        if (metrics_ != nullptr) metrics_->Increment("mem.alloc.refills");
+      }
+    }
+    if (locus.buf_end - locus.buf_next >= frames) {
+      FrameRun run;
+      if (mobility == Mobility::kMobile) {
+        run = FrameRun{locus.buf_next, frames};
+        locus.buf_next += frames;
+      } else {
+        run = FrameRun{locus.buf_end - frames, frames};
+        locus.buf_end -= frames;
+      }
+      if (metrics_ != nullptr) metrics_->Increment("mem.alloc.buffered");
+      return std::vector<FrameRun>{run};
+    }
+    // No contiguous chunk for a refill: fall through and scatter.
+  }
+
+  if (request.prefer_contiguous) {
+    if (auto run = TakeContiguous(frames, mobility, /*directional=*/true)) {
+      if (metrics_ != nullptr) metrics_->Increment("mem.alloc.contiguous");
+      return std::vector<FrameRun>{*run};
     }
   }
-  for (const FrameRun& r : runs) {
-    for (FrameNumber f = r.first; f < r.end(); ++f) {
-      bitmap_[f] = false;
-      ++free_frames_;
+  return mobility == Mobility::kMobile ? FitAscending(frames, num_frames_)
+                                       : FitDescending(frames);
+}
+
+StatusOr<std::vector<FrameRun>> FrameAllocator::Allocate(
+    const AllocRequest& request) {
+  if (request.locus >= loci_.size()) {
+    return InvalidArgumentError("unknown locus");
+  }
+  if (request.frames == 0) return std::vector<FrameRun>{};
+
+  StatusOr<std::vector<FrameRun>> runs_or = [&] {
+    if (request.bound.has_value()) {
+      // Bounded requests override cohort placement: compaction needs the
+      // frames below the cut wherever they are.
+      return FitAscending(request.frames, *request.bound);
     }
+    if (request.locus == kDefaultLocus) {
+      if (request.prefer_contiguous) {
+        if (auto run = TakeContiguous(request.frames, Mobility::kMobile,
+                                      /*directional=*/false)) {
+          if (metrics_ != nullptr) metrics_->Increment("mem.alloc.contiguous");
+          return StatusOr<std::vector<FrameRun>>(std::vector<FrameRun>{*run});
+        }
+      }
+      return NextFit(request.frames);
+    }
+    return AllocateInLocus(request, loci_[request.locus]);
+  }();
+  if (!runs_or.ok()) return runs_or;
+
+  LocusStats& stats = loci_[request.locus].stats;
+  ++stats.allocs;
+  stats.frames += request.frames;
+  if (metrics_ != nullptr) {
+    metrics_->Increment("mem.alloc.requests");
+    metrics_->Increment("mem.alloc.frames", request.frames);
+    metrics_->Increment("mem.alloc.runs", runs_or->size());
+    metrics_->SetGauge("mem.alloc.free_runs",
+                       static_cast<double>(free_runs_.size()));
+  }
+  return runs_or;
+}
+
+Status FrameAllocator::Free(const std::vector<FrameRun>& runs) {
+  // Validate everything first so a bad request leaves state untouched.
+  std::uint64_t total = 0;
+  for (const FrameRun& r : runs) {
+    if (r.end() > num_frames_) {
+      return InvalidArgumentError("frame run out of range");
+    }
+    if (r.count == 0) continue;
+    total += r.count;
+    // Any overlap with the free index is a double free.
+    auto it = free_runs_.upper_bound(r.first);
+    if (it != free_runs_.begin()) {
+      auto prev = std::prev(it);
+      if (prev->first + prev->second > r.first) {
+        return InvalidArgumentError("double free of frame");
+      }
+    }
+    if (it != free_runs_.end() && it->first < r.end()) {
+      return InvalidArgumentError("double free of frame");
+    }
+    // Frames parked in a locus buffer were never handed out.
+    for (const LocusState& locus : loci_) {
+      if (locus.buf_next < locus.buf_end && r.first < locus.buf_end &&
+          locus.buf_next < r.end()) {
+        return InvalidArgumentError("freeing reserved locus-buffer frame");
+      }
+    }
+  }
+  // Overlap within the request itself is also a double free (the bitmap
+  // implementation silently corrupted its free count here).
+  std::vector<FrameRun> sorted;
+  sorted.reserve(runs.size());
+  for (const FrameRun& r : runs) {
+    if (r.count > 0) sorted.push_back(r);
+  }
+  std::sort(sorted.begin(), sorted.end(),
+            [](const FrameRun& a, const FrameRun& b) {
+              return a.first < b.first;
+            });
+  for (std::size_t i = 1; i < sorted.size(); ++i) {
+    if (sorted[i].first < sorted[i - 1].end()) {
+      return InvalidArgumentError("double free of frame");
+    }
+  }
+
+  for (const FrameRun& r : sorted) InsertFreeRun(r.first, r.count);
+  if (metrics_ != nullptr) {
+    metrics_->Increment("mem.alloc.frees");
+    metrics_->Increment("mem.alloc.freed_frames", total);
+    metrics_->SetGauge("mem.alloc.free_runs",
+                       static_cast<double>(free_runs_.size()));
   }
   return Status::Ok();
 }
 
 Status FrameAllocator::Resize(std::uint64_t new_num_frames) {
-  const std::uint64_t old = bitmap_.size();
-  if (new_num_frames >= old) {
-    bitmap_.resize(new_num_frames, false);
-    free_frames_ += new_num_frames - old;
+  if (new_num_frames >= num_frames_) {
+    InsertFreeRun(num_frames_, new_num_frames - num_frames_);
+    num_frames_ = new_num_frames;
     return Status::Ok();
   }
-  for (FrameNumber f = new_num_frames; f < old; ++f) {
-    if (bitmap_[f]) {
-      return FailedPreconditionError(
-          "cannot shrink: frame " + std::to_string(f) + " still allocated");
-    }
+  // Unconsumed reservations would read as allocated tail frames; give them
+  // back before judging the cut.
+  FlushLocusBuffers();
+  // The tail [new_num_frames, num_frames_) must be one free piece: a run
+  // covering the cut and reaching the end of the region.
+  auto it = free_runs_.upper_bound(new_num_frames);
+  const auto prev = it == free_runs_.begin() ? free_runs_.end() : std::prev(it);
+  const bool covers_cut = prev != free_runs_.end() &&
+                          prev->first + prev->second > new_num_frames;
+  if (!covers_cut || prev->first + prev->second < num_frames_) {
+    const FrameNumber first_live =
+        covers_cut ? prev->first + prev->second : new_num_frames;
+    return FailedPreconditionError("cannot shrink: frame " +
+                                   std::to_string(first_live) +
+                                   " still allocated");
   }
-  bitmap_.resize(new_num_frames);
-  free_frames_ -= old - new_num_frames;
+  CarveFreeRun(prev->first, new_num_frames, num_frames_ - new_num_frames);
+  num_frames_ = new_num_frames;
   if (hint_ >= new_num_frames) hint_ = 0;
   return Status::Ok();
 }
 
 bool FrameAllocator::IsAllocated(FrameNumber f) const {
-  return f < bitmap_.size() && bitmap_[f];
+  if (f >= num_frames_) return false;
+  auto it = free_runs_.upper_bound(f);
+  if (it == free_runs_.begin()) return true;
+  const auto prev = std::prev(it);
+  return prev->first + prev->second <= f;
 }
 
 FrameNumber FrameAllocator::HighestAllocatedEnd() const {
-  for (FrameNumber f = bitmap_.size(); f > 0; --f) {
-    if (bitmap_[f - 1]) return f;
-  }
-  return 0;
-}
-
-StatusOr<std::vector<FrameRun>> FrameAllocator::AllocateBelow(
-    std::uint64_t frames, FrameNumber bound) {
-  if (frames == 0) return std::vector<FrameRun>{};
-  const FrameNumber limit = std::min<FrameNumber>(bound, bitmap_.size());
-  std::vector<FrameRun> runs;
-  std::uint64_t remaining = frames;
-  for (FrameNumber pos = 0; pos < limit && remaining > 0; ++pos) {
-    if (bitmap_[pos]) continue;
-    if (!runs.empty() && runs.back().end() == pos) {
-      ++runs.back().count;
-    } else {
-      runs.push_back(FrameRun{pos, 1});
-    }
-    bitmap_[pos] = true;
-    --free_frames_;
-    --remaining;
-  }
-  if (remaining > 0) {
-    LMP_CHECK_OK(Free(runs));  // roll back the partial grab
-    return OutOfMemoryError("need " + std::to_string(frames) +
-                            " frames below " + std::to_string(bound) +
-                            ", short by " + std::to_string(remaining));
-  }
-  return runs;
+  if (num_frames_ == 0) return 0;
+  const auto last = free_runs_.rbegin();
+  if (last == free_runs_.rend()) return num_frames_;  // fully allocated
+  // When the last free run touches the end of the region the tail above
+  // its start is clear; otherwise the final frame itself is live.
+  return last->first + last->second == num_frames_ ? last->first : num_frames_;
 }
 
 std::uint64_t FrameAllocator::AllocatedFramesFrom(FrameNumber from) const {
-  std::uint64_t count = 0;
-  for (FrameNumber f = from; f < bitmap_.size(); ++f) {
-    if (bitmap_[f]) ++count;
+  if (from >= num_frames_) return 0;
+  std::uint64_t free_after = 0;
+  auto it = free_runs_.upper_bound(from);
+  if (it != free_runs_.begin()) {
+    const auto prev = std::prev(it);
+    if (prev->first + prev->second > from) {
+      free_after += prev->first + prev->second - from;
+    }
   }
-  return count;
+  for (; it != free_runs_.end(); ++it) free_after += it->second;
+  return (num_frames_ - from) - free_after;
 }
 
 }  // namespace lmp::mem

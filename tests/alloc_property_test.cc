@@ -1,0 +1,396 @@
+// Property/fuzz tests for the run-indexed FrameAllocator: random
+// Allocate/Free/Resize/bounded-allocation sequences are cross-checked
+// against a reference bitmap model (the pre-run-index implementation's
+// semantics, kept here as the executable spec), and locus placement is
+// checked against per-frame first-fit models plus the packing invariant
+// (mobile cohorts stay below pinned cohorts).
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+#include "common/rng.h"
+#include "mem/frame_allocator.h"
+
+namespace lmp::mem {
+namespace {
+
+// Request builders the tests use; keeps call sites one-liners without
+// tripping -Wmissing-field-initializers on the skipped optional fields.
+AllocRequest InLocus(std::uint64_t frames, LocusId locus) {
+  AllocRequest request;
+  request.frames = frames;
+  request.locus = locus;
+  return request;
+}
+
+// The executable spec: a per-frame bitmap with the exact semantics of the
+// original FrameAllocator (next-fit scan with a wrapping hint, first-fit
+// below a bound) plus per-frame models of the locus policies (first-fit
+// ascending for mobile, descending-from-the-top for pinned).
+class ReferenceBitmap {
+ public:
+  ReferenceBitmap(std::uint64_t num_frames)
+      : bitmap_(num_frames, false), free_frames_(num_frames) {}
+
+  std::optional<std::vector<FrameRun>> NextFit(std::uint64_t frames) {
+    if (frames == 0) return std::vector<FrameRun>{};
+    if (frames > free_frames_) return std::nullopt;
+    std::vector<FrameRun> runs;
+    std::uint64_t remaining = frames;
+    const std::uint64_t n = bitmap_.size();
+    std::uint64_t scanned = 0;
+    FrameNumber pos = hint_;
+    while (remaining > 0 && scanned < n) {
+      if (!bitmap_[pos]) {
+        Grab(runs, pos);
+        --remaining;
+      }
+      pos = (pos + 1) % n;
+      ++scanned;
+    }
+    hint_ = pos;
+    return runs;
+  }
+
+  std::optional<std::vector<FrameRun>> FitBelow(std::uint64_t frames,
+                                                FrameNumber bound) {
+    if (frames == 0) return std::vector<FrameRun>{};
+    const FrameNumber limit = std::min<FrameNumber>(bound, bitmap_.size());
+    std::uint64_t below = 0;
+    for (FrameNumber f = 0; f < limit; ++f) below += bitmap_[f] ? 0 : 1;
+    if (below < frames) return std::nullopt;
+    std::vector<FrameRun> runs;
+    std::uint64_t remaining = frames;
+    for (FrameNumber pos = 0; pos < limit && remaining > 0; ++pos) {
+      if (bitmap_[pos]) continue;
+      Grab(runs, pos);
+      --remaining;
+    }
+    return runs;
+  }
+
+  // Mobile-locus model: the lowest `frames` free frames.
+  std::optional<std::vector<FrameRun>> FitLow(std::uint64_t frames) {
+    return FitBelow(frames, bitmap_.size());
+  }
+
+  // Pinned-locus model: the highest `frames` free frames, taken in
+  // descending order (runs coalesce downward).
+  std::optional<std::vector<FrameRun>> FitHigh(std::uint64_t frames) {
+    if (frames == 0) return std::vector<FrameRun>{};
+    if (frames > free_frames_) return std::nullopt;
+    std::vector<FrameRun> runs;
+    std::uint64_t remaining = frames;
+    for (FrameNumber pos = bitmap_.size(); pos > 0 && remaining > 0; --pos) {
+      const FrameNumber f = pos - 1;
+      if (bitmap_[f]) continue;
+      if (!runs.empty() && runs.back().first == f + 1) {
+        --runs.back().first;
+        ++runs.back().count;
+      } else {
+        runs.push_back(FrameRun{f, 1});
+      }
+      bitmap_[f] = true;
+      --free_frames_;
+      --remaining;
+    }
+    return runs;
+  }
+
+  bool Free(const std::vector<FrameRun>& runs) {
+    for (const FrameRun& r : runs) {
+      if (r.end() > bitmap_.size()) return false;
+      for (FrameNumber f = r.first; f < r.end(); ++f) {
+        if (!bitmap_[f]) return false;
+      }
+    }
+    // Overlap within the request: count frames twice.
+    std::vector<FrameRun> sorted = runs;
+    std::sort(sorted.begin(), sorted.end(),
+              [](const FrameRun& a, const FrameRun& b) {
+                return a.first < b.first;
+              });
+    for (std::size_t i = 1; i < sorted.size(); ++i) {
+      if (sorted[i].count > 0 && sorted[i - 1].count > 0 &&
+          sorted[i].first < sorted[i - 1].end()) {
+        return false;
+      }
+    }
+    for (const FrameRun& r : runs) {
+      for (FrameNumber f = r.first; f < r.end(); ++f) {
+        bitmap_[f] = false;
+        ++free_frames_;
+      }
+    }
+    return true;
+  }
+
+  bool Resize(std::uint64_t new_num_frames) {
+    const std::uint64_t old = bitmap_.size();
+    if (new_num_frames >= old) {
+      bitmap_.resize(new_num_frames, false);
+      free_frames_ += new_num_frames - old;
+      return true;
+    }
+    for (FrameNumber f = new_num_frames; f < old; ++f) {
+      if (bitmap_[f]) return false;
+    }
+    bitmap_.resize(new_num_frames);
+    free_frames_ -= old - new_num_frames;
+    if (hint_ >= new_num_frames) hint_ = 0;
+    return true;
+  }
+
+  std::uint64_t free_frames() const { return free_frames_; }
+  bool IsAllocated(FrameNumber f) const {
+    return f < bitmap_.size() && bitmap_[f];
+  }
+  FrameNumber HighestAllocatedEnd() const {
+    for (FrameNumber f = bitmap_.size(); f > 0; --f) {
+      if (bitmap_[f - 1]) return f;
+    }
+    return 0;
+  }
+  std::uint64_t AllocatedFramesFrom(FrameNumber from) const {
+    std::uint64_t count = 0;
+    for (FrameNumber f = from; f < bitmap_.size(); ++f) {
+      if (bitmap_[f]) ++count;
+    }
+    return count;
+  }
+  std::uint64_t num_frames() const { return bitmap_.size(); }
+
+ private:
+  void Grab(std::vector<FrameRun>& runs, FrameNumber pos) {
+    if (!runs.empty() && runs.back().end() == pos) {
+      ++runs.back().count;
+    } else {
+      runs.push_back(FrameRun{pos, 1});
+    }
+    bitmap_[pos] = true;
+    --free_frames_;
+  }
+
+  std::vector<bool> bitmap_;
+  std::uint64_t free_frames_;
+  FrameNumber hint_ = 0;
+};
+
+// Canonical form for comparisons where take order is policy-internal
+// (pinned returns descending runs): sorted by start frame.
+std::vector<FrameRun> Sorted(std::vector<FrameRun> runs) {
+  std::sort(runs.begin(), runs.end(),
+            [](const FrameRun& a, const FrameRun& b) {
+              return a.first < b.first;
+            });
+  return runs;
+}
+
+void CheckAgreement(const FrameAllocator& alloc, const ReferenceBitmap& model,
+                    Rng& rng) {
+  ASSERT_EQ(alloc.num_frames(), model.num_frames());
+  ASSERT_EQ(alloc.free_frames(), model.free_frames());
+  ASSERT_EQ(alloc.HighestAllocatedEnd(), model.HighestAllocatedEnd());
+  const FrameNumber probe =
+      model.num_frames() == 0 ? 0 : rng.NextBounded(model.num_frames() + 4);
+  ASSERT_EQ(alloc.IsAllocated(probe), model.IsAllocated(probe));
+  ASSERT_EQ(alloc.AllocatedFramesFrom(probe),
+            model.AllocatedFramesFrom(probe));
+}
+
+// Random Allocate/Free/Resize/bounded sequences on the default locus: the
+// new allocator must be frame-for-frame identical to the bitmap spec,
+// including run order and the next-fit hint trajectory.
+TEST(AllocPropertyTest, DefaultLocusMatchesBitmapSpecExactly) {
+  Rng rng(0xA110C8);
+  FrameAllocator alloc(512, KiB(4));
+  ReferenceBitmap model(512);
+  std::vector<std::vector<FrameRun>> live;
+
+  for (int step = 0; step < 6000; ++step) {
+    const std::uint64_t dice = rng.NextBounded(10);
+    if (dice < 4) {  // plain allocation
+      const std::uint64_t frames = rng.NextBounded(48) + 1;
+      auto got = alloc.Allocate(AllocRequest::Of(frames));
+      auto want = model.NextFit(frames);
+      ASSERT_EQ(got.ok(), want.has_value()) << "step " << step;
+      if (got.ok()) {
+        ASSERT_EQ(*got, *want) << "step " << step;
+        live.push_back(*got);
+      }
+    } else if (dice < 6) {  // bounded allocation
+      const std::uint64_t frames = rng.NextBounded(24) + 1;
+      const FrameNumber bound = rng.NextBounded(alloc.num_frames() + 8);
+      auto got = alloc.Allocate(AllocRequest::Below(frames, bound));
+      auto want = model.FitBelow(frames, bound);
+      ASSERT_EQ(got.ok(), want.has_value()) << "step " << step;
+      if (got.ok()) {
+        ASSERT_EQ(*got, *want) << "step " << step;
+        live.push_back(*got);
+      }
+    } else if (dice < 9) {  // free a random live allocation
+      if (live.empty()) continue;
+      const std::size_t pick = rng.NextBounded(live.size());
+      ASSERT_TRUE(alloc.Free(live[pick]).ok()) << "step " << step;
+      ASSERT_TRUE(model.Free(live[pick])) << "step " << step;
+      live[pick] = live.back();
+      live.pop_back();
+    } else {  // resize (grow or shrink attempt)
+      const std::uint64_t target = rng.NextBounded(768) + 1;
+      const bool got = alloc.Resize(target).ok();
+      const bool want = model.Resize(target);
+      ASSERT_EQ(got, want) << "step " << step << " resize " << target;
+    }
+    CheckAgreement(alloc, model, rng);
+  }
+}
+
+// Unbuffered loci against the per-frame models: mobile takes the lowest
+// free frames, pinned the highest.
+TEST(AllocPropertyTest, LocusPlacementMatchesFirstFitModels) {
+  Rng rng(0x10C05);
+  FrameAllocator alloc(512, KiB(4));
+  ReferenceBitmap model(512);
+  const LocusId mobile = alloc.RegisterLocus({"m", Mobility::kMobile});
+  const LocusId pinned = alloc.RegisterLocus({"p", Mobility::kPinned});
+  std::vector<std::vector<FrameRun>> live;
+
+  for (int step = 0; step < 6000; ++step) {
+    const std::uint64_t dice = rng.NextBounded(10);
+    if (dice < 5) {
+      const bool low = rng.NextBernoulli(0.5);
+      const std::uint64_t frames = rng.NextBounded(32) + 1;
+      auto got = alloc.Allocate(
+          InLocus(frames, low ? mobile : pinned));
+      auto want = low ? model.FitLow(frames) : model.FitHigh(frames);
+      ASSERT_EQ(got.ok(), want.has_value()) << "step " << step;
+      if (got.ok()) {
+        ASSERT_EQ(Sorted(*got), Sorted(*want)) << "step " << step;
+        live.push_back(*got);
+      }
+    } else if (dice < 9) {
+      if (live.empty()) continue;
+      const std::size_t pick = rng.NextBounded(live.size());
+      ASSERT_TRUE(alloc.Free(live[pick]).ok()) << "step " << step;
+      ASSERT_TRUE(model.Free(live[pick])) << "step " << step;
+      live[pick] = live.back();
+      live.pop_back();
+    } else {
+      const std::uint64_t target = rng.NextBounded(768) + 1;
+      ASSERT_EQ(alloc.Resize(target).ok(), model.Resize(target))
+          << "step " << step;
+    }
+    CheckAgreement(alloc, model, rng);
+  }
+}
+
+// The packing invariant: while the two cohorts' footprints stay clear of
+// the midpoint, every mobile frame sits below every pinned frame — under
+// churn, not just on a fresh allocator.  Buffered loci included: the
+// reservations bump outward exactly like the unbuffered policies.
+TEST(AllocPropertyTest, MobileStaysBelowPinnedUnderChurn) {
+  Rng rng(0xB0D1);
+  FrameAllocator alloc(1024, KiB(4));
+  const LocusId mobile =
+      alloc.RegisterLocus({"m", Mobility::kMobile, /*buffer_frames=*/16});
+  const LocusId pinned =
+      alloc.RegisterLocus({"p", Mobility::kPinned, /*buffer_frames=*/16});
+  struct Held {
+    std::vector<FrameRun> runs;
+    std::uint64_t frames = 0;
+    bool is_mobile = false;
+  };
+  std::vector<Held> live;
+  std::uint64_t mobile_frames = 0;
+  std::uint64_t pinned_frames = 0;
+  const std::uint64_t kBudget = 300;  // per cohort, buffers included
+
+  for (int step = 0; step < 8000; ++step) {
+    const bool is_mobile = rng.NextBernoulli(0.5);
+    std::uint64_t& held = is_mobile ? mobile_frames : pinned_frames;
+    if (rng.NextBernoulli(0.6)) {
+      const std::uint64_t frames = rng.NextBounded(24) + 1;
+      if (held + frames + 16 > kBudget) continue;  // +16: a buffer refill
+      auto runs = alloc.Allocate(
+          InLocus(frames, is_mobile ? mobile : pinned));
+      ASSERT_TRUE(runs.ok()) << "step " << step;
+      live.push_back(Held{*runs, frames, is_mobile});
+      held += frames;
+    } else {
+      // Free a random allocation of this cohort, if any.
+      std::vector<std::size_t> candidates;
+      for (std::size_t i = 0; i < live.size(); ++i) {
+        if (live[i].is_mobile == is_mobile) candidates.push_back(i);
+      }
+      if (candidates.empty()) continue;
+      const std::size_t pick = candidates[rng.NextBounded(candidates.size())];
+      ASSERT_TRUE(alloc.Free(live[pick].runs).ok()) << "step " << step;
+      held -= live[pick].frames;
+      live[pick] = live.back();
+      live.pop_back();
+    }
+    // Invariant: max mobile frame < min pinned frame.
+    FrameNumber mobile_max = 0;
+    FrameNumber pinned_min = alloc.num_frames();
+    bool any_mobile = false, any_pinned = false;
+    for (const Held& h : live) {
+      for (const FrameRun& r : h.runs) {
+        if (h.is_mobile) {
+          any_mobile = true;
+          mobile_max = std::max(mobile_max, r.end() - 1);
+        } else {
+          any_pinned = true;
+          pinned_min = std::min(pinned_min, r.first);
+        }
+      }
+    }
+    if (any_mobile && any_pinned) {
+      ASSERT_LT(mobile_max, pinned_min) << "step " << step;
+    }
+  }
+}
+
+// Buffered allocation accounting: free/used/buffered always reconcile,
+// and every handed-out frame reads as allocated.
+TEST(AllocPropertyTest, BufferedAccountingReconciles) {
+  Rng rng(0xBF01);
+  FrameAllocator alloc(256, KiB(4));
+  const LocusId id =
+      alloc.RegisterLocus({"b", Mobility::kMobile, /*buffer_frames=*/8});
+  std::vector<std::vector<FrameRun>> live;
+  std::uint64_t handed_out = 0;
+
+  for (int step = 0; step < 4000; ++step) {
+    if (rng.NextBernoulli(0.55) && handed_out + 8 < 200) {
+      const std::uint64_t frames = rng.NextBounded(6) + 1;
+      auto runs = alloc.Allocate(InLocus(frames, id));
+      ASSERT_TRUE(runs.ok()) << "step " << step;
+      for (const FrameRun& r : *runs) {
+        for (FrameNumber f = r.first; f < r.end(); ++f) {
+          ASSERT_TRUE(alloc.IsAllocated(f)) << "step " << step;
+        }
+      }
+      live.push_back(*runs);
+      handed_out += frames;
+    } else if (!live.empty()) {
+      const std::size_t pick = rng.NextBounded(live.size());
+      std::uint64_t freed = 0;
+      for (const FrameRun& r : live[pick]) freed += r.count;
+      ASSERT_TRUE(alloc.Free(live[pick]).ok()) << "step " << step;
+      handed_out -= freed;
+      live[pick] = live.back();
+      live.pop_back();
+    }
+    ASSERT_EQ(alloc.free_frames() + alloc.buffered_frames() + handed_out,
+              alloc.num_frames())
+        << "step " << step;
+  }
+  alloc.FlushLocusBuffers();
+  ASSERT_EQ(alloc.free_frames() + handed_out, alloc.num_frames());
+}
+
+}  // namespace
+}  // namespace lmp::mem

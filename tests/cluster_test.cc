@@ -31,8 +31,8 @@ TEST(ServerTest, SharedCannotExceedTotal) {
 
 TEST(ServerTest, ShrinkBlockedByLiveData) {
   Server s(0, MiB(64), MiB(64), 4, KiB(4), false);
-  auto runs = s.shared_allocator().Allocate(
-      mem::FramesForBytes(MiB(48), KiB(4)));
+  auto runs = s.shared_allocator().Allocate(mem::AllocRequest::Of(
+      mem::FramesForBytes(MiB(48), KiB(4))));
   ASSERT_TRUE(runs.ok());
   EXPECT_FALSE(s.ResizeShared(MiB(16)).ok());  // live frames in the tail
   ASSERT_TRUE(s.shared_allocator().Free(*runs).ok());
@@ -41,7 +41,7 @@ TEST(ServerTest, ShrinkBlockedByLiveData) {
 
 TEST(ServerTest, RecoverClearsAllocations) {
   Server s(0, MiB(4), MiB(4), 4, KiB(4), true);
-  ASSERT_TRUE(s.shared_allocator().Allocate(10).ok());
+  ASSERT_TRUE(s.shared_allocator().Allocate(mem::AllocRequest::Of(10)).ok());
   ASSERT_TRUE(s.Crash().ok());
   EXPECT_TRUE(s.crashed());
   // Double crash / double recover are state errors, not silent no-ops.

@@ -300,6 +300,39 @@ TEST(AdmissionTest, AdmitQueueRejectLifecycle) {
   EXPECT_TRUE(IsFailedPrecondition(adm.Release(a->id)));  // double release
 }
 
+TEST(AdmissionTest, AllocOptionsCarryTenantIdentity) {
+  MetricsRegistry metrics;
+  AdmissionController adm(MiB(10));
+  adm.set_metrics(&metrics);
+
+  TenantSpec spec;
+  spec.name = "latency";
+  spec.bytes = MiB(6);
+  spec.priority = 2.0;
+  spec.preferred = cluster::ServerId{3};
+  spec.mobility = mem::Mobility::kPinned;
+  auto lease = adm.RequestAdmission(spec);
+  ASSERT_TRUE(lease.ok());
+  ASSERT_EQ(lease->state, LeaseState::kActive);
+
+  // Active lease: the attribution server, the per-tenant locus, and the
+  // spec's mobility/priority flow into frame placement.
+  const core::AllocOptions options = adm.AllocOptionsFor(*lease);
+  EXPECT_EQ(options.preferred, std::optional<cluster::ServerId>(3));
+  EXPECT_EQ(options.locus, "tenant/latency");
+  EXPECT_EQ(options.mobility, mem::Mobility::kPinned);
+  EXPECT_EQ(options.priority, 2.0);
+
+  // Queued lease: no attribution point yet, the spec's preference stands.
+  auto parked = adm.RequestAdmission({"batch", MiB(8), 1.0, {}});
+  ASSERT_TRUE(parked.ok());
+  ASSERT_EQ(parked->state, LeaseState::kQueued);
+  const core::AllocOptions queued = adm.AllocOptionsFor(*parked);
+  EXPECT_EQ(queued.preferred, std::nullopt);
+  EXPECT_EQ(queued.locus, "tenant/batch");
+  EXPECT_EQ(queued.mobility, mem::Mobility::kMobile);
+}
+
 TEST(AdmissionTest, HigherPriorityPreemptsCheapestActive) {
   MetricsRegistry metrics;
   AdmissionController adm(MiB(10));

@@ -75,6 +75,19 @@ TEST_F(DrainTest, ColdSegmentsLeaveBeforeHotOnes) {
   EXPECT_TRUE(manager_.Read(0, *hot, 0, out).ok());
 }
 
+TEST_F(DrainTest, PinnedResidentsBlockTheDrain) {
+  AllocOptions pinned;
+  pinned.preferred = cluster::ServerId{0};
+  pinned.locus = "tenant/latency";
+  pinned.mobility = mem::Mobility::kPinned;
+  auto buf = manager_.Allocate(MiB(2), pinned);
+  ASSERT_TRUE(buf.ok());
+  // The pinned resident must not be selected as a drain victim, and with
+  // nothing else to move the drain cannot reach its target.
+  auto records = runtime_.DrainServer(0, MiB(1), 0);
+  EXPECT_TRUE(IsFailedPrecondition(records.status()));
+}
+
 TEST_F(DrainTest, FailsWhenPeersFull) {
   // Fill every peer completely.
   for (int s = 1; s < 4; ++s) {

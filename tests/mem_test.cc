@@ -9,11 +9,27 @@
 namespace lmp::mem {
 namespace {
 
+// Request builders the tests use; keeps call sites one-liners without
+// tripping -Wmissing-field-initializers on the skipped optional fields.
+AllocRequest InLocus(std::uint64_t frames, LocusId locus) {
+  AllocRequest request;
+  request.frames = frames;
+  request.locus = locus;
+  return request;
+}
+
+AllocRequest Contiguous(std::uint64_t frames) {
+  AllocRequest request;
+  request.frames = frames;
+  request.prefer_contiguous = true;
+  return request;
+}
+
 // --- FrameAllocator ---------------------------------------------------------
 
 TEST(FrameAllocatorTest, AllocatesExactCount) {
   FrameAllocator alloc(100, KiB(64));
-  auto runs = alloc.Allocate(10);
+  auto runs = alloc.Allocate(AllocRequest::Of(10));
   ASSERT_TRUE(runs.ok());
   std::uint64_t total = 0;
   for (const auto& r : *runs) total += r.count;
@@ -24,7 +40,7 @@ TEST(FrameAllocatorTest, AllocatesExactCount) {
 
 TEST(FrameAllocatorTest, FreshAllocationIsOneRun) {
   FrameAllocator alloc(100, KiB(4));
-  auto runs = alloc.Allocate(50);
+  auto runs = alloc.Allocate(AllocRequest::Of(50));
   ASSERT_TRUE(runs.ok());
   EXPECT_EQ(runs->size(), 1u);
   EXPECT_EQ((*runs)[0].count, 50u);
@@ -32,31 +48,31 @@ TEST(FrameAllocatorTest, FreshAllocationIsOneRun) {
 
 TEST(FrameAllocatorTest, ZeroFramesIsEmpty) {
   FrameAllocator alloc(10, KiB(4));
-  auto runs = alloc.Allocate(0);
+  auto runs = alloc.Allocate(AllocRequest::Of(0));
   ASSERT_TRUE(runs.ok());
   EXPECT_TRUE(runs->empty());
 }
 
 TEST(FrameAllocatorTest, ExhaustionIsOutOfMemory) {
   FrameAllocator alloc(10, KiB(4));
-  ASSERT_TRUE(alloc.Allocate(10).ok());
-  auto more = alloc.Allocate(1);
+  ASSERT_TRUE(alloc.Allocate(AllocRequest::Of(10)).ok());
+  auto more = alloc.Allocate(AllocRequest::Of(1));
   EXPECT_FALSE(more.ok());
   EXPECT_TRUE(IsOutOfMemory(more.status()));
 }
 
 TEST(FrameAllocatorTest, FreeMakesFramesReusable) {
   FrameAllocator alloc(10, KiB(4));
-  auto runs = alloc.Allocate(10);
+  auto runs = alloc.Allocate(AllocRequest::Of(10));
   ASSERT_TRUE(runs.ok());
   ASSERT_TRUE(alloc.Free(*runs).ok());
   EXPECT_EQ(alloc.free_frames(), 10u);
-  EXPECT_TRUE(alloc.Allocate(10).ok());
+  EXPECT_TRUE(alloc.Allocate(AllocRequest::Of(10)).ok());
 }
 
 TEST(FrameAllocatorTest, DoubleFreeRejectedAtomically) {
   FrameAllocator alloc(10, KiB(4));
-  auto runs = alloc.Allocate(5);
+  auto runs = alloc.Allocate(AllocRequest::Of(5));
   ASSERT_TRUE(runs.ok());
   ASSERT_TRUE(alloc.Free(*runs).ok());
   EXPECT_FALSE(alloc.Free(*runs).ok());
@@ -70,14 +86,14 @@ TEST(FrameAllocatorTest, OutOfRangeFreeRejected) {
 
 TEST(FrameAllocatorTest, FragmentedAllocationSpansHoles) {
   FrameAllocator alloc(10, KiB(4));
-  auto a = alloc.Allocate(4);   // frames 0-3
-  auto b = alloc.Allocate(2);   // frames 4-5
-  auto c = alloc.Allocate(4);   // frames 6-9
+  auto a = alloc.Allocate(AllocRequest::Of(4));   // frames 0-3
+  auto b = alloc.Allocate(AllocRequest::Of(2));   // frames 4-5
+  auto c = alloc.Allocate(AllocRequest::Of(4));   // frames 6-9
   ASSERT_TRUE(a.ok() && b.ok() && c.ok());
   ASSERT_TRUE(alloc.Free(*a).ok());
   ASSERT_TRUE(alloc.Free(*c).ok());
   // 8 free frames in two disjoint regions; allocation must span both.
-  auto d = alloc.Allocate(8);
+  auto d = alloc.Allocate(AllocRequest::Of(8));
   ASSERT_TRUE(d.ok());
   EXPECT_GE(d->size(), 2u);
   EXPECT_EQ(alloc.free_frames(), 0u);
@@ -92,7 +108,7 @@ TEST(FrameAllocatorTest, GrowAddsFreeFrames) {
 
 TEST(FrameAllocatorTest, ShrinkBlockedByLiveFrames) {
   FrameAllocator alloc(10, KiB(4));
-  auto runs = alloc.Allocate(8);
+  auto runs = alloc.Allocate(AllocRequest::Of(8));
   ASSERT_TRUE(runs.ok());
   EXPECT_FALSE(alloc.Resize(4).ok());  // frames 0-7 live
   ASSERT_TRUE(alloc.Free(*runs).ok());
@@ -103,14 +119,14 @@ TEST(FrameAllocatorTest, ShrinkBlockedByLiveFrames) {
 TEST(FrameAllocatorTest, CapacityArithmetic) {
   FrameAllocator alloc(16, KiB(64));
   EXPECT_EQ(alloc.capacity_bytes(), MiB(1));
-  ASSERT_TRUE(alloc.Allocate(4).ok());
+  ASSERT_TRUE(alloc.Allocate(AllocRequest::Of(4)).ok());
   EXPECT_EQ(alloc.free_bytes(), KiB(64) * 12);
 }
 
 TEST(FrameAllocatorTest, IsAllocatedTracksState) {
   FrameAllocator alloc(4, KiB(4));
   EXPECT_FALSE(alloc.IsAllocated(0));
-  auto runs = alloc.Allocate(1);
+  auto runs = alloc.Allocate(AllocRequest::Of(1));
   ASSERT_TRUE(runs.ok());
   EXPECT_TRUE(alloc.IsAllocated((*runs)[0].first));
   EXPECT_FALSE(alloc.IsAllocated(99));  // out of range is not allocated
@@ -126,39 +142,191 @@ TEST(FramesForBytesTest, RoundsUp) {
 TEST(FrameAllocatorTest, HighestAllocatedEndTracksTail) {
   FrameAllocator alloc(8, KiB(4));
   EXPECT_EQ(alloc.HighestAllocatedEnd(), 0u);
-  auto a = alloc.Allocate(3);  // frames 0..2
+  auto a = alloc.Allocate(AllocRequest::Of(3));  // frames 0..2
   ASSERT_TRUE(a.ok());
   EXPECT_EQ(alloc.HighestAllocatedEnd(), 3u);
-  auto b = alloc.Allocate(2);  // frames 3..4
+  auto b = alloc.Allocate(AllocRequest::Of(2));  // frames 3..4
   ASSERT_TRUE(b.ok());
   ASSERT_TRUE(alloc.Free(*a).ok());
   // Low frames freed: the tail is still pinned by the highest live frame.
   EXPECT_EQ(alloc.HighestAllocatedEnd(), 5u);
 }
 
-TEST(FrameAllocatorTest, AllocateBelowPacksUnderTheBound) {
+TEST(FrameAllocatorTest, BoundedRequestPacksUnderTheBound) {
   FrameAllocator alloc(8, KiB(4));
-  auto a = alloc.Allocate(2);  // 0..1
-  auto b = alloc.Allocate(2);  // 2..3, next-fit hint now at 4
+  auto a = alloc.Allocate(AllocRequest::Of(2));  // 0..1
+  auto b = alloc.Allocate(AllocRequest::Of(2));  // 2..3, next-fit hint now at 4
   ASSERT_TRUE(a.ok() && b.ok());
   ASSERT_TRUE(alloc.Free(*a).ok());
-  // Plain Allocate would continue from the hint; AllocateBelow must come
-  // back for the hole at the bottom.
-  auto low = alloc.AllocateBelow(2, 4);
+  // Default next-fit would continue from the hint; a bounded request must
+  // come back for the hole at the bottom.
+  auto low = alloc.Allocate(AllocRequest::Below(2, 4));
   ASSERT_TRUE(low.ok());
   ASSERT_EQ(low->size(), 1u);
   EXPECT_EQ((*low)[0].first, 0u);
   EXPECT_EQ((*low)[0].count, 2u);
 }
 
-TEST(FrameAllocatorTest, AllocateBelowRollsBackOnShortage) {
+TEST(FrameAllocatorTest, BoundedShortageLeavesStateUntouched) {
   FrameAllocator alloc(8, KiB(4));
-  auto a = alloc.Allocate(3);  // 0..2
+  auto a = alloc.Allocate(AllocRequest::Of(3));  // 0..2
   ASSERT_TRUE(a.ok());
   const std::uint64_t free_before = alloc.free_frames();
-  auto low = alloc.AllocateBelow(3, 4);  // only frame 3 is free below 4
+  // Only frame 3 is free below 4.
+  auto low = alloc.Allocate(AllocRequest::Below(3, 4));
   EXPECT_TRUE(IsOutOfMemory(low.status()));
-  EXPECT_EQ(alloc.free_frames(), free_before);  // partial grab rolled back
+  // Reserve-before-commit: shortage never mutates the free index.
+  EXPECT_EQ(alloc.free_frames(), free_before);
+  EXPECT_EQ(alloc.free_run_count(), 1u);  // still one coalesced run [3, 8)
+}
+
+
+TEST(FrameAllocatorTest, DefaultPlacementMatchesLegacyNextFit) {
+  // The default locus reproduces the bitmap-era next-fit scan exactly:
+  // frames are taken in scan order from the hint, wrapping once.
+  FrameAllocator alloc(8, KiB(4));
+  auto a = alloc.Allocate(AllocRequest::Of(3));  // 0..2
+  auto b = alloc.Allocate(AllocRequest::Of(3));  // 3..5
+  ASSERT_TRUE(a.ok() && b.ok());
+  ASSERT_TRUE(alloc.Free(*a).ok());
+  // Hint sits at 6: the next grab takes 6..7, then wraps to 0.
+  auto c = alloc.Allocate(AllocRequest::Of(4));
+  ASSERT_TRUE(c.ok());
+  ASSERT_EQ(c->size(), 2u);
+  EXPECT_EQ((*c)[0], (FrameRun{6, 2}));
+  EXPECT_EQ((*c)[1], (FrameRun{0, 2}));
+}
+
+TEST(FrameAllocatorTest, FreeRunCountTracksFragmentation) {
+  FrameAllocator alloc(10, KiB(4));
+  EXPECT_EQ(alloc.free_run_count(), 1u);
+  auto a = alloc.Allocate(AllocRequest::Of(2));  // 0..1
+  auto b = alloc.Allocate(AllocRequest::Of(2));  // 2..3
+  auto c = alloc.Allocate(AllocRequest::Of(2));  // 4..5
+  ASSERT_TRUE(a.ok() && b.ok() && c.ok());
+  ASSERT_TRUE(alloc.Free(*b).ok());
+  EXPECT_EQ(alloc.free_run_count(), 2u);  // {2..3} and {6..9}
+  // Freeing the neighbours coalesces everything back into one run.
+  ASSERT_TRUE(alloc.Free(*a).ok());
+  ASSERT_TRUE(alloc.Free(*c).ok());
+  EXPECT_EQ(alloc.free_run_count(), 1u);
+  EXPECT_EQ(alloc.free_frames(), 10u);
+}
+
+TEST(FrameAllocatorTest, AllocatedFramesFromCountsTail) {
+  FrameAllocator alloc(10, KiB(4));
+  auto a = alloc.Allocate(AllocRequest::Of(4));  // 0..3
+  auto b = alloc.Allocate(AllocRequest::Of(4));  // 4..7
+  ASSERT_TRUE(a.ok() && b.ok());
+  ASSERT_TRUE(alloc.Free(*a).ok());
+  EXPECT_EQ(alloc.AllocatedFramesFrom(0), 4u);
+  EXPECT_EQ(alloc.AllocatedFramesFrom(6), 2u);
+  EXPECT_EQ(alloc.AllocatedFramesFrom(8), 0u);
+  EXPECT_EQ(alloc.AllocatedFramesFrom(99), 0u);
+}
+
+TEST(FrameAllocatorTest, OverlappingRunsInOneFreeRejected) {
+  FrameAllocator alloc(10, KiB(4));
+  auto runs = alloc.Allocate(AllocRequest::Of(6));
+  ASSERT_TRUE(runs.ok());
+  // The same frames twice in one call must not corrupt the free count
+  // (the bitmap implementation double-counted here).
+  EXPECT_FALSE(alloc.Free({(*runs)[0], (*runs)[0]}).ok());
+  EXPECT_EQ(alloc.free_frames(), 4u);
+}
+
+TEST(FrameAllocatorTest, MobileLocusPacksLowPinnedPacksHigh) {
+  FrameAllocator alloc(100, KiB(4));
+  const LocusId mobile = alloc.RegisterLocus({"tenant/a", Mobility::kMobile});
+  const LocusId pinned = alloc.RegisterLocus({"tenant/b", Mobility::kPinned});
+  auto lo = alloc.Allocate(InLocus(10, mobile));
+  auto hi = alloc.Allocate(InLocus(10, pinned));
+  ASSERT_TRUE(lo.ok() && hi.ok());
+  EXPECT_EQ((*lo)[0], (FrameRun{0, 10}));
+  EXPECT_EQ((*hi)[0], (FrameRun{90, 10}));
+  // The cohorts keep packing outward on subsequent grabs.
+  auto lo2 = alloc.Allocate(InLocus(5, mobile));
+  auto hi2 = alloc.Allocate(InLocus(5, pinned));
+  ASSERT_TRUE(lo2.ok() && hi2.ok());
+  EXPECT_EQ((*lo2)[0], (FrameRun{10, 5}));
+  EXPECT_EQ((*hi2)[0], (FrameRun{85, 5}));
+}
+
+TEST(FrameAllocatorTest, RegisterLocusIsGetOrCreate) {
+  FrameAllocator alloc(100, KiB(4));
+  const LocusId a = alloc.RegisterLocus({"tenant/a", Mobility::kPinned});
+  const LocusId again = alloc.RegisterLocus({"tenant/a", Mobility::kMobile});
+  EXPECT_EQ(a, again);
+  EXPECT_EQ(alloc.locus_spec(a).mobility, Mobility::kPinned);  // first wins
+  EXPECT_EQ(alloc.RegisterLocus({""}), kDefaultLocus);
+}
+
+TEST(FrameAllocatorTest, BufferedLocusServesContiguousSmallGrabs) {
+  FrameAllocator alloc(100, KiB(4));
+  const LocusId id = alloc.RegisterLocus(
+      {"tenant/buf", Mobility::kMobile, /*buffer_frames=*/16});
+  auto a = alloc.Allocate(InLocus(3, id));
+  auto b = alloc.Allocate(InLocus(3, id));
+  ASSERT_TRUE(a.ok() && b.ok());
+  // Both grabs bump within one 16-frame reservation: contiguous frames,
+  // one refill, and the reservation reads as allocated.
+  EXPECT_EQ((*a)[0], (FrameRun{0, 3}));
+  EXPECT_EQ((*b)[0], (FrameRun{3, 3}));
+  EXPECT_EQ(alloc.locus_stats(id).buffer_refills, 1u);
+  EXPECT_EQ(alloc.buffered_frames(), 10u);
+  EXPECT_EQ(alloc.free_frames(), 84u);
+  EXPECT_TRUE(alloc.IsAllocated(8));  // reserved, not yet handed out
+  alloc.FlushLocusBuffers();
+  EXPECT_EQ(alloc.buffered_frames(), 0u);
+  EXPECT_EQ(alloc.free_frames(), 94u);
+  EXPECT_FALSE(alloc.IsAllocated(8));
+}
+
+TEST(FrameAllocatorTest, ShrinkFlushesLocusBuffers) {
+  FrameAllocator alloc(100, KiB(4));
+  const LocusId id = alloc.RegisterLocus(
+      {"tenant/buf", Mobility::kPinned, /*buffer_frames=*/16});
+  // The pinned buffer reserves the top 16 frames; only 2 are handed out.
+  auto runs = alloc.Allocate(InLocus(2, id));
+  ASSERT_TRUE(runs.ok());
+  EXPECT_EQ((*runs)[0], (FrameRun{98, 2}));
+  // A shrink to 50 would be blocked by the reservation alone; the resize
+  // flushes it and fails only on the 2 truly live frames.
+  auto st = alloc.Resize(50);
+  EXPECT_FALSE(st.ok());
+  EXPECT_EQ(alloc.buffered_frames(), 0u);
+  ASSERT_TRUE(alloc.Free(*runs).ok());
+  EXPECT_TRUE(alloc.Resize(50).ok());
+}
+
+TEST(FrameAllocatorTest, PreferContiguousUsesBestFitBucket) {
+  FrameAllocator alloc(64, KiB(4));
+  auto a = alloc.Allocate(AllocRequest::Of(8));    // 0..7
+  auto b = alloc.Allocate(AllocRequest::Of(40));   // 8..47
+  ASSERT_TRUE(a.ok() && b.ok());
+  ASSERT_TRUE(alloc.Free(*a).ok());
+  // Free runs: {0..7} (8 frames) and {48..63} (16 frames).  A contiguous
+  // request for 6 takes the snugger 8-frame hole, not the next-fit pick.
+  auto c = alloc.Allocate(Contiguous(6));
+  ASSERT_TRUE(c.ok());
+  ASSERT_EQ(c->size(), 1u);
+  EXPECT_EQ((*c)[0], (FrameRun{0, 6}));
+}
+
+TEST(FrameAllocatorTest, LocusStatsAccumulate) {
+  FrameAllocator alloc(100, KiB(4));
+  const LocusId id = alloc.RegisterLocus({"tenant/a", Mobility::kMobile});
+  ASSERT_TRUE(alloc.Allocate(InLocus(4, id)).ok());
+  ASSERT_TRUE(alloc.Allocate(InLocus(6, id)).ok());
+  EXPECT_EQ(alloc.locus_stats(id).allocs, 2u);
+  EXPECT_EQ(alloc.locus_stats(id).frames, 10u);
+  EXPECT_EQ(alloc.num_loci(), 2u);  // default + tenant/a
+}
+
+TEST(FrameAllocatorTest, UnknownLocusRejected) {
+  FrameAllocator alloc(10, KiB(4));
+  auto runs = alloc.Allocate(InLocus(1, 7));
+  EXPECT_FALSE(runs.ok());
 }
 
 // --- LruCache -------------------------------------------------------------------

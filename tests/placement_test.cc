@@ -95,7 +95,7 @@ TEST(LocalFirstTest, SpillsToEmptiestPeerAfterFillingLocal) {
   cluster::Cluster cluster(SmallConfig());
   // Pre-consume most of server 1 so the spill should pick 0 or 3.
   auto pre = cluster.server(1).shared_allocator().Allocate(
-      mem::FramesForBytes(MiB(12), KiB(4)));
+      mem::AllocRequest::Of(mem::FramesForBytes(MiB(12), KiB(4))));
   ASSERT_TRUE(pre.ok());
   LocalFirstPlacement policy;
   auto chunks = policy.Place(cluster, MiB(24), 2);
@@ -148,7 +148,7 @@ TEST(CapacityWeightedTest, ProportionalToFreeSpace) {
   cluster::Cluster cluster(SmallConfig());
   // Make server 0 half-full: free = 8,16,16,16.
   auto pre = cluster.server(0).shared_allocator().Allocate(
-      mem::FramesForBytes(MiB(8), KiB(4)));
+      mem::AllocRequest::Of(mem::FramesForBytes(MiB(8), KiB(4))));
   ASSERT_TRUE(pre.ok());
   CapacityWeightedPlacement policy;
   auto chunks = policy.Place(cluster, MiB(28), 0);  // half of 56 free

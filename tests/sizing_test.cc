@@ -104,7 +104,10 @@ TEST(SizingTest, ApplyDefersBlockedShrink) {
   config.server_shared_memory = GiB(24);
   cluster::Cluster cluster(config);
   // Live frames occupy the region; shrinking to zero must be deferred.
-  ASSERT_TRUE(cluster.server(1).shared_allocator().Allocate(10).ok());
+  ASSERT_TRUE(cluster.server(1)
+                  .shared_allocator()
+                  .Allocate(mem::AllocRequest::Of(10))
+                  .ok());
   SizingPlan plan;
   plan.entries.push_back({0, 0, 0, 0});
   plan.entries.push_back({1, 0, 0, 0});
@@ -122,7 +125,10 @@ TEST(SizingTest, ApplyReportsDeferredShrinkStructurally) {
   cluster::Cluster cluster(config);
   // 10 frames x 1 MiB live on server 1; shrinking to 4 MiB strands the
   // 6 frames above the new boundary (first-fit packs from frame 0).
-  ASSERT_TRUE(cluster.server(1).shared_allocator().Allocate(10).ok());
+  ASSERT_TRUE(cluster.server(1)
+                  .shared_allocator()
+                  .Allocate(mem::AllocRequest::Of(10))
+                  .ok());
   SizingPlan plan;
   plan.entries.push_back({1, MiB(4), 0, 0});
   const SizingApplyResult result = SizingOptimizer::Apply(cluster, plan);
