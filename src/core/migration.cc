@@ -23,6 +23,7 @@ StatusOr<MigrationRoundStats> MigrationEngine::RunOnce(
   };
   std::vector<Candidate> candidates;
 
+  const bool scoped = config_.scope_limit > config_.scope_first;
   const AccessTracker& tracker = manager_->access_tracker();
   manager_->segment_map().ForEach([&](const SegmentInfo& info) {
     if (info.state != SegmentState::kActive) return;
@@ -31,6 +32,16 @@ StatusOr<MigrationRoundStats> MigrationEngine::RunOnce(
     if (dom.share < config_.dominance_threshold) return;
     // Already local to the dominant accessor?
     if (!info.home.is_pool() && info.home.server == dom.server) return;
+    if (scoped) {
+      if (dom.server < config_.scope_first ||
+          dom.server >= config_.scope_limit) {
+        return;
+      }
+      if (info.home.is_pool() || info.home.server < config_.scope_first ||
+          info.home.server >= config_.scope_limit) {
+        return;  // homed off-rack: a pull grant's job, not this round's
+      }
+    }
     const double copy_cost = static_cast<double>(info.size);
     if (dom.bytes < config_.benefit_factor * copy_cost) return;
     candidates.push_back(Candidate{info.id, dom.server,

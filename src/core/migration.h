@@ -26,6 +26,13 @@ struct MigrationConfig {
   double benefit_factor = 1.0;
   // Cap per balancing round, so one round cannot saturate the fabric.
   int max_migrations_per_round = 8;
+  // Rack scope: when scope_limit > scope_first, a round only moves
+  // segments whose dominant accessor AND current home both fall in
+  // [scope_first, scope_limit) — rack-local balancing that never crosses
+  // the spine.  Cross-rack moves are the hierarchical coordinator's to
+  // grant, not the balancer's to take.  Default (0, 0) is unscoped.
+  cluster::ServerId scope_first = 0;
+  cluster::ServerId scope_limit = 0;
 };
 
 struct MigrationRoundStats {

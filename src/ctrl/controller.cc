@@ -8,6 +8,23 @@
 
 namespace lmp::ctrl {
 
+namespace {
+
+// Propagates the controller's rack scope into the migration config when
+// the caller left the latter unscoped, so one scope declaration governs
+// the whole loop.
+core::MigrationConfig ScopedMigration(const ControllerConfig& config) {
+  core::MigrationConfig m = config.migration;
+  if (config.scope_limit > config.scope_first &&
+      m.scope_limit <= m.scope_first) {
+    m.scope_first = config.scope_first;
+    m.scope_limit = config.scope_limit;
+  }
+  return m;
+}
+
+}  // namespace
+
 SizingController::SizingController(Bindings bindings, ControllerConfig config)
     : sim_(bindings.sim),
       manager_(bindings.manager),
@@ -16,27 +33,29 @@ SizingController::SizingController(Bindings bindings, ControllerConfig config)
       config_(config),
       estimator_(bindings.manager, config.estimator),
       admission_(0),
-      migrator_(bindings.manager, config.migration) {
+      migrator_(bindings.manager, ScopedMigration(config)) {
   LMP_CHECK(sim_ != nullptr);
   LMP_CHECK(manager_ != nullptr);
   LMP_CHECK(config_.period > 0);
   LMP_CHECK(config_.cooldown >= 0);
+  if (config_.scope_limit > config_.scope_first) {
+    estimator_.RestrictTo(config_.scope_first, config_.scope_limit);
+  }
   cooldown_until_.assign(manager_->cluster().num_servers(), -1.0);
   admission_.UpdateHeadroom(LeaseCapacity(), 0);
   admission_.set_placement_hint([this](const TenantSpec& spec) {
     const cluster::Cluster& cluster = manager_->cluster();
-    if (spec.preferred.has_value() &&
-        *spec.preferred < static_cast<cluster::ServerId>(
-                              cluster.num_servers()) &&
+    if (spec.preferred.has_value() && spec.preferred >= scope_first() &&
+        *spec.preferred < scope_limit() &&
         !cluster.server(*spec.preferred).crashed()) {
       return *spec.preferred;
     }
-    // Live server with the most free shared bytes, lowest id on ties.
-    cluster::ServerId best = 0;
+    // Live in-scope server with the most free shared bytes, lowest id on
+    // ties.
+    cluster::ServerId best = scope_first();
     Bytes best_free = 0;
     bool found = false;
-    for (int s = 0; s < cluster.num_servers(); ++s) {
-      const auto id = static_cast<cluster::ServerId>(s);
+    for (cluster::ServerId id = scope_first(); id < scope_limit(); ++id) {
       if (cluster.server(id).crashed()) continue;
       const Bytes free = cluster.server(id).shared_allocator().free_bytes();
       if (!found || free > best_free) {
@@ -78,17 +97,30 @@ void SizingController::set_metrics(MetricsRegistry* registry) {
 }
 
 Bytes SizingController::LeaseCapacity() const {
-  // Best-case bytes the pool could dedicate to leases: live servers' DRAM
-  // minus their private floors.  Organic demand is subtracted dynamically
-  // via UpdateHeadroom.
+  // Best-case bytes the pool could dedicate to leases: live in-scope
+  // servers' DRAM minus their private floors.  Organic demand is
+  // subtracted dynamically via UpdateHeadroom.
   const cluster::Cluster& cluster = manager_->cluster();
   Bytes capacity = 0;
-  for (int s = 0; s < cluster.num_servers(); ++s) {
-    const auto& srv = cluster.server(static_cast<cluster::ServerId>(s));
+  for (cluster::ServerId s = scope_first(); s < scope_limit(); ++s) {
+    const auto& srv = cluster.server(s);
     if (srv.crashed()) continue;
     capacity += srv.total_memory();
   }
   return capacity;
+}
+
+void SizingController::AddOpSloProbe(OpSloProbe probe) {
+  LMP_CHECK(!probe.histogram.empty());
+  LMP_CHECK(probe.p99_ceiling > 0);
+  probes_.push_back(ProbeState{std::move(probe), /*breached=*/false});
+}
+
+void SizingController::set_access_bits(core::AccessBitSampler* sampler,
+                                       bool scan_each_epoch) {
+  sampler_ = sampler;
+  scan_access_bits_ = scan_each_epoch;
+  estimator_.set_access_bits(sampler);
 }
 
 void SizingController::Start() {
@@ -124,6 +156,11 @@ void SizingController::RunEpoch(SimTime now, bool out_of_band) {
   ++stats_.epochs;
   metrics_->Increment("ctrl.epochs");
 
+  // (0) Access-bit scan: close the sampling interval so this epoch's
+  // attribution sees fresh bits (skipped when a hierarchical parent owns
+  // the shared sampler and scans it once for all racks).
+  if (sampler_ != nullptr && scan_access_bits_) (void)sampler_->ScanAndClear();
+
   // (1) Admission refresh: recompute lease capacity (crashes shrink it),
   // preempt/promote, then feed the active leases to the estimator.
   admission_.UpdateHeadroom(LeaseCapacity(),
@@ -133,7 +170,11 @@ void SizingController::RunEpoch(SimTime now, bool out_of_band) {
     estimator_.SetLeaseDemand(server, bytes);
   }
 
-  // (2) Estimate + (3) solve.
+  // (2) Tail-latency probes react before the estimate so a breached
+  // tenant's server solves at boosted priority this epoch, not next.
+  SampleOpSlos(now);
+
+  // (3) Estimate + solve.
   std::vector<core::ServerDemand> demands = estimator_.Estimate(now);
   const core::SizingPlan plan =
       core::SizingOptimizer::Solve(manager_->cluster(), std::move(demands));
@@ -243,6 +284,12 @@ void SizingController::PriceTransfer(const core::Location& from,
     }
     return;
   }
+  if (topology_->CrossRack(from.server, to.server)) {
+    // Control-plane bytes that cross the spine — the quantity the
+    // hierarchical design exists to minimize.
+    stats_.spine_bytes += bytes;
+    metrics_->Increment("ctrl.spine_bytes", bytes);
+  }
   const std::vector<sim::ResourceId> path =
       topology_->DmaRemotePath(from.server, to.server);
   sim_->StartFlow(static_cast<double>(bytes), path,
@@ -275,8 +322,8 @@ void SizingController::BeginDrain(cluster::ServerId server,
     cluster::ServerId dest = server;
     core::AccessTracker::DominantAccessor dom;
     if (manager_->access_tracker().Dominant(v.seg, now, &dom) &&
-        dom.server != server &&
-        dom.server < static_cast<cluster::ServerId>(cluster.num_servers()) &&
+        dom.server != server && dom.server >= scope_first() &&
+        dom.server < scope_limit() &&
         !cluster.server(dom.server).crashed() &&
         cluster.server(dom.server).shared_allocator().free_bytes() >=
             v.size) {
@@ -292,10 +339,11 @@ void SizingController::BeginDrain(cluster::ServerId server,
         continue;
       }
       if (IsFailedPrecondition(rec_or.status())) continue;  // busy
-      // No room below the cut: fall through to the most-free peer.
+      // No room below the cut: fall through to the most-free in-scope
+      // peer (a scoped controller drains within its rack; off-rack room
+      // is the spine coordinator's to grant).
       Bytes best_free = 0;
-      for (int s = 0; s < cluster.num_servers(); ++s) {
-        const auto id = static_cast<cluster::ServerId>(s);
+      for (cluster::ServerId id = scope_first(); id < scope_limit(); ++id) {
         if (id == server || cluster.server(id).crashed()) continue;
         const Bytes free = cluster.server(id).shared_allocator().free_bytes();
         if (free >= v.size && free > best_free) {
@@ -426,6 +474,34 @@ void SizingController::RunMigrationRound(SimTime now) {
                         static_cast<std::uint64_t>(round.migrated));
   for (const core::MigrationRecord& rec : records) {
     PriceTransfer(rec.from, rec.to, rec.bytes, cluster::ServerId(-1));
+  }
+}
+
+void SizingController::SampleOpSlos(SimTime now) {
+  for (ProbeState& st : probes_) {
+    const OpSloProbe& p = st.probe;
+    const MetricsRegistry* reg =
+        p.registry != nullptr ? p.registry : metrics_;
+    const Histogram* hist = reg->FindHistogram(p.histogram);
+    if (hist == nullptr || hist->count() == 0) continue;  // no ops yet
+    const auto p99 = static_cast<SimTime>(hist->Percentile(99));
+    if (slo_ledger_ != nullptr) slo_ledger_->RecordOpP99(p.tenant, p99);
+    const bool breached = p99 > p.p99_ceiling;
+    if (breached == st.breached) continue;
+    st.breached = breached;
+    estimator_.SetPriority(p.server,
+                           breached ? p.boost_priority : p.base_priority);
+    if (breached) {
+      ++stats_.p99_breaches;
+      metrics_->Increment("ctrl.p99_breaches");
+    }
+    if (trace_ != nullptr) {
+      trace_->Instant(trace::Category::kCtrl,
+                      breached ? "p99_breach" : "p99_recover", now,
+                      {trace::Arg("tenant", p.tenant),
+                       trace::Arg("p99_ns", p99),
+                       trace::Arg("server", p.server)});
+    }
   }
 }
 

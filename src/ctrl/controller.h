@@ -32,11 +32,13 @@
 #include <cstdint>
 #include <map>
 #include <memory>
+#include <string>
 #include <vector>
 
 #include "chaos/fault_injector.h"
 #include "common/metrics.h"
 #include "common/units.h"
+#include "core/access_bits.h"
 #include "core/migration.h"
 #include "core/pool_manager.h"
 #include "core/runtime.h"
@@ -69,6 +71,14 @@ struct ControllerConfig {
   bool run_migration = true;
   core::MigrationConfig migration;
   EstimatorConfig estimator;
+  // Rack scope: when scope_limit > scope_first the controller manages only
+  // servers [scope_first, scope_limit) — its estimator, solver, admission
+  // placement, drains, and migration all stay inside the range, so a
+  // hierarchical deployment can run one scoped controller per rack without
+  // them fighting over segments.  Default (0, 0) manages the whole
+  // cluster.  The migration scope is propagated automatically when unset.
+  cluster::ServerId scope_first = 0;
+  cluster::ServerId scope_limit = 0;
 };
 
 struct ControllerStats {
@@ -87,8 +97,28 @@ struct ControllerStats {
   std::uint64_t drains_failed = 0;  // OOM or still blocked at retry
   Bytes drain_bytes = 0;            // bytes moved by drain migrations
   Bytes resize_bytes = 0;           // |delta| summed over landed resizes
+  Bytes spine_bytes = 0;  // control-plane bytes priced across racks
+  std::uint64_t p99_breaches = 0;  // op-SLO probe ceiling crossings
   Bytes last_unmet_demand = 0;
   double last_local_fraction = 1.0;  // observed, traffic-weighted
+};
+
+// Per-op tail-latency SLO probe.  Each epoch the controller samples the
+// p99 of `histogram` (an op-engine latency distribution, nanoseconds) and
+// scores it against the bound ledger's max_op_p99 target for `tenant`.
+// While the sampled p99 exceeds `p99_ceiling` the probe's server estimates
+// demand at `boost_priority` instead of `base_priority`, so the next solve
+// leans capacity toward the tenant whose tail is hurting; recovery
+// restores the base.  Probes react in registration order — deterministic.
+struct OpSloProbe {
+  std::string tenant;
+  // Registry holding the histogram; null means the controller's own.
+  const MetricsRegistry* registry = nullptr;
+  std::string histogram;    // e.g. "tenantA.get"
+  SimTime p99_ceiling = 0;  // breach when sampled p99 exceeds this (ns)
+  cluster::ServerId server = 0;  // whose priority reacts
+  double base_priority = 1.0;
+  double boost_priority = 2.0;
 };
 
 class SizingController {
@@ -103,6 +133,7 @@ class SizingController {
   SizingController(Bindings bindings, ControllerConfig config = {});
 
   DemandEstimator& estimator() { return estimator_; }
+  const DemandEstimator& estimator() const { return estimator_; }
   AdmissionController& admission() { return admission_; }
   core::MigrationEngine& migration_engine() { return migrator_; }
 
@@ -120,6 +151,25 @@ class SizingController {
 
   const ControllerStats& stats() const { return stats_; }
   const ControllerConfig& config() const { return config_; }
+
+  // Scope helpers (full cluster when the config left scope unset).
+  cluster::ServerId scope_first() const { return config_.scope_first; }
+  cluster::ServerId scope_limit() const {
+    return config_.scope_limit > config_.scope_first
+               ? config_.scope_limit
+               : static_cast<cluster::ServerId>(
+                     manager_->cluster().num_servers());
+  }
+
+  // Registers a tail-latency probe; sampled every epoch from then on.
+  void AddOpSloProbe(OpSloProbe probe);
+
+  // Binds the shared access-bit sampler.  When `scan_each_epoch` is true
+  // the controller scan-and-clears it at the top of every epoch; a
+  // hierarchical parent that shares one sampler across several scoped
+  // controllers passes false and scans once itself.
+  void set_access_bits(core::AccessBitSampler* sampler,
+                       bool scan_each_epoch = true);
 
   void set_metrics(MetricsRegistry* registry);
   void set_trace(trace::TraceCollector* collector) { trace_ = collector; }
@@ -147,6 +197,7 @@ class SizingController {
   void PriceTransfer(const core::Location& from, const core::Location& to,
                      Bytes bytes, cluster::ServerId drain_server);
   Bytes LeaseCapacity() const;
+  void SampleOpSlos(SimTime now);
   void ExportEpochTelemetry(const core::SizingPlan& plan, SimTime now);
 
   sim::FluidSimulator* sim_;
@@ -163,6 +214,14 @@ class SizingController {
   bool epoch_scheduled_ = false;
   std::vector<SimTime> cooldown_until_;           // per server
   std::map<cluster::ServerId, Drain> drains_;     // in-flight drains
+
+  struct ProbeState {
+    OpSloProbe probe;
+    bool breached = false;
+  };
+  std::vector<ProbeState> probes_;
+  core::AccessBitSampler* sampler_ = nullptr;
+  bool scan_access_bits_ = false;
 
   ControllerStats stats_;
   MetricsRegistry* metrics_ = &MetricsRegistry::Global();

@@ -10,6 +10,21 @@
 // allocation watermark (segments exist => bytes are wanted) and the access
 // pattern (who wants them close).
 //
+// Two attribution sources (§5 names both profiling mechanisms):
+//   * kExactHotness — AccessTracker's decayed per-byte counters (models
+//     performance counters; exact but expensive at scale).
+//   * kAccessBits   — a shared core::AccessBitSampler's page access bits
+//     (cheap, lossy: a scan interval only reveals WHETHER pages were
+//     touched).  The sampler is scanned once per epoch by whoever owns the
+//     estimator — never by the estimator itself, so several rack-scoped
+//     estimators can share one sampler.
+//
+// Scope: RestrictTo(first, limit) narrows the estimator to one rack's
+// servers.  Estimate() then returns entries for scoped servers only and
+// attributes only segments whose attributed server falls inside the scope;
+// a segment another rack's server dominates is that rack's demand, not
+// ours, even when it is homed here.
+//
 // Raw attributions are EWMA-smoothed in simulated time so one bursty epoch
 // cannot whipsaw the solver: smoothed += (1 - exp(-dt/tau)) * (raw -
 // smoothed).  The controller's hysteresis handles the residual jitter.
@@ -24,10 +39,13 @@
 #include <vector>
 
 #include "common/units.h"
+#include "core/access_bits.h"
 #include "core/pool_manager.h"
 #include "core/sizing.h"
 
 namespace lmp::ctrl {
+
+enum class DemandSource : std::uint8_t { kExactHotness, kAccessBits };
 
 struct EstimatorConfig {
   // EWMA time constant for demand smoothing.  A few controller periods:
@@ -36,6 +54,8 @@ struct EstimatorConfig {
   // Provisioning margin applied to the smoothed estimate (1.1 = size the
   // region 10% above measured demand).
   double headroom_factor = 1.0;
+  // Attribution input; kAccessBits requires set_access_bits().
+  DemandSource source = DemandSource::kExactHotness;
 };
 
 class DemandEstimator {
@@ -43,6 +63,25 @@ class DemandEstimator {
   // The manager must outlive the estimator.
   explicit DemandEstimator(core::PoolManager* manager,
                            EstimatorConfig config = {});
+
+  // Narrows the estimator to servers [first, limit) — a rack scope.  Must
+  // be a non-empty range within the cluster.
+  void RestrictTo(cluster::ServerId first, cluster::ServerId limit);
+  cluster::ServerId scope_first() const { return scope_first_; }
+  cluster::ServerId scope_limit() const { return scope_limit_; }
+  bool InScope(cluster::ServerId server) const {
+    return server >= scope_first_ && server < scope_limit_;
+  }
+
+  // Access-bits input for DemandSource::kAccessBits.  The sampler is
+  // shared state owned by the caller; the OWNER scans it (once per epoch),
+  // the estimator only reads the last completed interval.
+  void set_access_bits(const core::AccessBitSampler* sampler) {
+    sampler_ = sampler;
+  }
+  bool uses_access_bits() const {
+    return config_.source == DemandSource::kAccessBits && sampler_ != nullptr;
+  }
 
   // Static per-server inputs the telemetry cannot observe: the private
   // floor (the server's own non-pool working set) and its priority under
@@ -55,14 +94,15 @@ class DemandEstimator {
   void SetLeaseDemand(cluster::ServerId server, Bytes bytes);
   void ClearLeaseDemands();
 
-  // One demand entry per server (id order), EWMA-smoothed as of `now`.
-  // Calling twice at the same `now` is idempotent (dt = 0 folds nothing).
+  // One demand entry per scoped server (id order), EWMA-smoothed as of
+  // `now`.  Calling twice at the same `now` is idempotent (dt = 0 folds
+  // nothing).
   std::vector<core::ServerDemand> Estimate(SimTime now);
 
-  // Traffic-weighted fraction of recent (decayed) accesses that hit the
-  // accessing server's own shared region — the quantity the paper's
-  // objective maximizes, observed rather than planned.  1.0 with no
-  // recorded traffic.
+  // Traffic-weighted fraction of recent (decayed) accesses by scoped
+  // servers that hit the accessing server's own shared region — the
+  // quantity the paper's objective maximizes, observed rather than
+  // planned.  1.0 with no recorded traffic.
   double ObservedLocalFraction(SimTime now) const;
 
   // Same fraction restricted to one server's own accesses: how much of
@@ -72,8 +112,23 @@ class DemandEstimator {
   // cluster-wide average).
   double ObservedLocalFraction(SimTime now, cluster::ServerId server) const;
 
-  // Last smoothed organic (non-lease) demand, summed over servers; the
-  // admission controller subtracts this from capacity to get headroom.
+  // Cross-rack pull candidates: active segments homed OUTSIDE the scope
+  // (on a peer server, not the pool box) whose dominant accessor is
+  // inside it, hottest first (ties by segment id).  What a granted spine
+  // budget would localize.
+  struct PullCandidate {
+    core::SegmentId seg = core::kInvalidSegment;
+    cluster::ServerId dst = 0;  // the in-scope dominant accessor
+    Bytes size = 0;
+    double heat = 0;
+  };
+  std::vector<PullCandidate> PullCandidates(SimTime now) const;
+  // Total bytes across PullCandidates — the rack summary's
+  // remote-hot-bytes input to the global coordinator.
+  Bytes RemoteHotBytes(SimTime now) const;
+
+  // Last smoothed organic (non-lease) demand, summed over scoped servers;
+  // the admission controller subtracts this from capacity to get headroom.
   Bytes SmoothedOrganicDemand() const;
 
   const EstimatorConfig& config() const { return config_; }
@@ -88,9 +143,16 @@ class DemandEstimator {
   };
 
   PerServer& state(cluster::ServerId server);
+  // Attributes one segment to a server via the configured source; false
+  // when nobody has touched it in the observation window.
+  bool Attribute(const core::SegmentInfo& info, SimTime now,
+                 cluster::ServerId* who, double* heat) const;
 
   core::PoolManager* manager_;
   EstimatorConfig config_;
+  const core::AccessBitSampler* sampler_ = nullptr;
+  cluster::ServerId scope_first_ = 0;
+  cluster::ServerId scope_limit_ = 0;
   std::vector<PerServer> servers_;
 };
 

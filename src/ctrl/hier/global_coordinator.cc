@@ -1,0 +1,63 @@
+#include "ctrl/hier/global_coordinator.h"
+
+#include <algorithm>
+
+#include "common/logging.h"
+
+namespace lmp::ctrl::hier {
+
+GlobalCoordinator::GlobalCoordinator(CoordinatorConfig config)
+    : config_(config) {
+  LMP_CHECK(config_.spine_budget > 0);
+  LMP_CHECK(config_.headroom_reserve >= 0 && config_.headroom_reserve < 1);
+}
+
+SpinePlan GlobalCoordinator::Solve(
+    const std::vector<RackSummary>& racks) const {
+  SpinePlan plan;
+  Bytes budget = config_.spine_budget;
+
+  // Grantable headroom per rack: free bytes minus the reserve, debited as
+  // grants land so pulls and pushes share one capacity view.
+  std::vector<Bytes> avail(racks.size(), 0);
+  for (std::size_t i = 0; i < racks.size(); ++i) {
+    if (!racks[i].alive) continue;
+    avail[i] = static_cast<Bytes>(static_cast<double>(racks[i].headroom) *
+                                  (1.0 - config_.headroom_reserve));
+  }
+
+  // Pull phase first: localizing hot bytes is the paper's objective, so
+  // locality repair outranks capacity overflow for the shared budget.
+  for (std::size_t i = 0; i < racks.size(); ++i) {
+    if (!racks[i].alive) continue;
+    const Bytes want =
+        std::min({racks[i].remote_hot_bytes, avail[i], budget});
+    if (want < config_.min_grant) continue;
+    plan.pulls.push_back(PullGrant{racks[i].rack, want});
+    plan.granted += want;
+    budget -= want;
+    avail[i] -= want;
+  }
+
+  // Push phase: spread each deficit rack's residual over surplus racks in
+  // id order.
+  for (std::size_t i = 0; i < racks.size(); ++i) {
+    if (!racks[i].alive) continue;
+    Bytes need = racks[i].residual_demand;
+    for (std::size_t j = 0; j < racks.size(); ++j) {
+      if (j == i || !racks[j].alive) continue;
+      if (need < config_.min_grant || budget == 0) break;
+      const Bytes grant = std::min({need, avail[j], budget});
+      if (grant < config_.min_grant) continue;
+      plan.pushes.push_back(
+          PushGrant{racks[i].rack, racks[j].rack, grant});
+      plan.granted += grant;
+      budget -= grant;
+      avail[j] -= grant;
+      need -= grant;
+    }
+  }
+  return plan;
+}
+
+}  // namespace lmp::ctrl::hier

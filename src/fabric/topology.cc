@@ -29,6 +29,7 @@ void Topology::AddServers(int num_servers) {
 
 void Topology::AssignRackShards(int servers_per_rack) {
   LMP_CHECK(servers_per_rack > 0) << "rack size must be positive";
+  servers_per_rack_ = servers_per_rack;
   num_racks_ = 0;
   for (ServerIndex s = 0; s < server_port_.size(); ++s) {
     const auto rack = static_cast<sim::ShardId>(s / servers_per_rack);
@@ -41,6 +42,31 @@ void Topology::AssignRackShards(int servers_per_rack) {
   }
   // Pool resources stay unsharded: pool traffic fans in from every rack, so
   // it belongs on the solver's sequential spill path by construction.
+}
+
+void Topology::ProvisionSpine(BytesPerSec uplink_bandwidth) {
+  LMP_CHECK(num_racks_ > 0) << "ProvisionSpine requires AssignRackShards";
+  LMP_CHECK(rack_uplink_.empty()) << "spine already provisioned";
+  LMP_CHECK(uplink_bandwidth > 0);
+  rack_uplink_.reserve(num_racks_);
+  for (int r = 0; r < num_racks_; ++r) {
+    rack_uplink_.push_back(sim_->AddResource(
+        "rack" + std::to_string(r) + ".uplink", uplink_bandwidth));
+  }
+}
+
+sim::ResourceId Topology::rack_uplink(int rack) const {
+  LMP_CHECK(rack >= 0 && rack < static_cast<int>(rack_uplink_.size()))
+      << "unknown rack uplink " << rack;
+  return rack_uplink_[rack];
+}
+
+double Topology::SpineBytesServed() const {
+  double total = 0;
+  for (sim::ResourceId uplink : rack_uplink_) {
+    total += sim_->BytesServed(uplink);
+  }
+  return total;
 }
 
 Topology Topology::MakeLogical(sim::FluidSimulator* sim, int num_servers,
@@ -103,6 +129,10 @@ std::vector<sim::ResourceId> Topology::RemotePath(ServerIndex src,
                                                   int core_idx,
                                                   ServerIndex dst) const {
   LMP_CHECK(src != dst) << "remote path to self; use LocalPath";
+  if (has_spine() && CrossRack(src, dst)) {
+    return {core(src, core_idx), port(src),      rack_uplink(rack_of(src)),
+            rack_uplink(rack_of(dst)), port(dst), dram(dst)};
+  }
   return {core(src, core_idx), port(src), port(dst), dram(dst)};
 }
 
@@ -115,6 +145,10 @@ std::vector<sim::ResourceId> Topology::PoolPath(ServerIndex src,
 std::vector<sim::ResourceId> Topology::DmaRemotePath(ServerIndex src,
                                                      ServerIndex dst) const {
   LMP_CHECK(src != dst);
+  if (has_spine() && CrossRack(src, dst)) {
+    return {port(src), rack_uplink(rack_of(src)), rack_uplink(rack_of(dst)),
+            port(dst), dram(dst)};
+  }
   return {port(src), port(dst), dram(dst)};
 }
 
@@ -186,6 +220,7 @@ void Topology::SampleUtilization(trace::TraceCollector* collector) const {
     sample(server_dram_[s]);
   }
   for (sim::ResourceId p : pool_port_) sample(p);
+  for (sim::ResourceId uplink : rack_uplink_) sample(uplink);
   if (has_pool_dram_) sample(pool_dram_);
 }
 
@@ -196,9 +231,14 @@ SimTime Topology::LocalLoadedLatency(ServerIndex s) const {
 SimTime Topology::RemoteLoadedLatency(ServerIndex src,
                                       ServerIndex dst) const {
   // Bottleneck utilization along the path determines queueing delay.
-  const double u = std::max(sim_->SmoothedUtilization(port(src)),
-                            std::max(sim_->SmoothedUtilization(port(dst)),
-                                     sim_->SmoothedUtilization(dram(dst))));
+  double u = std::max(sim_->SmoothedUtilization(port(src)),
+                      std::max(sim_->SmoothedUtilization(port(dst)),
+                               sim_->SmoothedUtilization(dram(dst))));
+  if (has_spine() && CrossRack(src, dst)) {
+    u = std::max(u, std::max(
+                        sim_->SmoothedUtilization(rack_uplink(rack_of(src))),
+                        sim_->SmoothedUtilization(rack_uplink(rack_of(dst)))));
+  }
   // A degraded endpoint stretches the whole path's latency.
   const double lat_mult =
       std::max(link_latency_mult(src), link_latency_mult(dst));

@@ -82,6 +82,31 @@ class Topology {
   // path.  Call once after construction, before starting flows.
   void AssignRackShards(int servers_per_rack);
   int num_racks() const { return num_racks_; }
+  int servers_per_rack() const { return servers_per_rack_; }
+  // Rack a server sits in (rack 0 when racks were never assigned).
+  int rack_of(ServerIndex s) const {
+    return servers_per_rack_ == 0 ? 0
+                                  : static_cast<int>(s) / servers_per_rack_;
+  }
+  bool CrossRack(ServerIndex a, ServerIndex b) const {
+    return rack_of(a) != rack_of(b);
+  }
+
+  // Spine --------------------------------------------------------------------
+  // Provisions the second fabric tier: one uplink resource per rack
+  // ("rack<r>.uplink") with `uplink_bandwidth` capacity.  Cross-rack paths
+  // then traverse BOTH endpoints' uplinks — the congestion point the
+  // hierarchical control plane budgets — while same-rack paths are
+  // unchanged.  Uplinks are deliberately left unsharded: a cross-rack flow
+  // couples its two racks, which routes those solves onto the sequential
+  // spill path by construction.  Requires AssignRackShards first; call
+  // before starting flows.
+  void ProvisionSpine(BytesPerSec uplink_bandwidth);
+  bool has_spine() const { return !rack_uplink_.empty(); }
+  sim::ResourceId rack_uplink(int rack) const;
+  // Total bytes the spine uplinks have served so far (tenant traffic plus
+  // control-plane transfers; each cross-rack flow counts on both ends).
+  double SpineBytesServed() const;
 
   // Latency ------------------------------------------------------------------
   // Loaded read latency for a path class, using the smoothed utilization of
@@ -135,6 +160,8 @@ class Topology {
   sim::ResourceId pool_dram_ = 0;
   bool has_pool_dram_ = false;
   int num_racks_ = 0;
+  int servers_per_rack_ = 0;
+  std::vector<sim::ResourceId> rack_uplink_;
 
   // Per-port health multipliers (1.0 = pristine), indexed like server_port_.
   std::vector<double> server_bw_mult_;

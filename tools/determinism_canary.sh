@@ -5,6 +5,10 @@
 # python3 is available, exercising the structured differ.
 #
 # Usage: determinism_canary.sh <bench-binary> <scratch-dir> [bench args...]
+#
+# CANARY_RUN1_EXTRA_ARGS / CANARY_RUN2_EXTRA_ARGS append (word-split)
+# per-run flags, so a caller can byte-compare two *different* settings
+# that must not change results — e.g. --threads=1 vs --threads=8.
 set -eu
 
 bench="$1"
@@ -15,7 +19,13 @@ mkdir -p "$scratch"
 tools_dir="$(dirname "$0")"
 
 for run in 1 2; do
-  "$bench" "$@" \
+  if [ "$run" = 1 ]; then
+    extra="${CANARY_RUN1_EXTRA_ARGS:-}"
+  else
+    extra="${CANARY_RUN2_EXTRA_ARGS:-}"
+  fi
+  # shellcheck disable=SC2086  # $extra is intentionally word-split
+  "$bench" "$@" $extra \
     --series-out="$scratch/$run.series.json" \
     --slo-out="$scratch/$run.slo.json" \
     --metrics-out="$scratch/$run.metrics.json" \
